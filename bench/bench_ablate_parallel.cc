@@ -1,0 +1,85 @@
+// Ablation D (beyond-paper): multi-threaded RBM scan scaling. The
+// per-image BOUNDS folds are embarrassingly parallel, so a modern
+// implementation can buy back much of instantiation-free query cost with
+// cores — an axis the 2006 prototype did not have.
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/parallel.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace mmdb {
+namespace {
+
+int Run() {
+  std::cout << "=== Ablation D: parallel RBM scan scaling (helmet data "
+               "set, 1200 images, 85% edit-stored) ===\n"
+            << "hardware threads available: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  datasets::DatasetSpec spec;
+  spec.kind = datasets::DatasetKind::kHelmets;
+  spec.total_images = 1200;
+  spec.edited_fraction = 0.85;
+  spec.min_ops = 6;
+  spec.max_ops = 12;
+  spec.seed = 31337;
+  datasets::DatasetStats stats;
+  auto db = bench::BuildDatabase(spec, &stats);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  Rng rng(271);
+  const auto workload = datasets::MakeGroundedRangeWorkload(
+      (*db)->collection(), (*db)->quantizer(), datasets::HelmetPalette(),
+      20, rng);
+
+  TablePrinter table({"threads", "ms/query", "speedup vs 1 thread"});
+  double baseline = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    const ParallelRbmQueryProcessor processor(&(*db)->collection(),
+                                              &(*db)->rule_engine(),
+                                              threads);
+    // Warm up, then take the median of 7 rounds.
+    for (const RangeQuery& query : workload) {
+      if (!processor.RunRange(query).ok()) return 1;
+    }
+    std::vector<double> rounds;
+    for (int r = 0; r < 7; ++r) {
+      Stopwatch watch;
+      for (const RangeQuery& query : workload) {
+        const auto result = processor.RunRange(query);
+        if (!result.ok()) {
+          std::cerr << result.status().ToString() << "\n";
+          return 1;
+        }
+      }
+      rounds.push_back(watch.ElapsedSeconds());
+    }
+    std::sort(rounds.begin(), rounds.end());
+    const double per_query =
+        rounds[rounds.size() / 2] / static_cast<double>(workload.size());
+    if (threads == 1) baseline = per_query;
+    table.AddRow({TablePrinter::Cell(threads),
+                  TablePrinter::Cell(per_query * 1e3, 4),
+                  TablePrinter::Cell(baseline / per_query, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: near-linear speedup until the thread "
+               "count approaches the core count (the scan is "
+               "embarrassingly parallel; chunk startup costs bound the "
+               "tail). On a single-core machine extra threads can only "
+               "add scheduling overhead, so ratios below 1.0 there are "
+               "the correct reading, not a bug.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main() { return mmdb::Run(); }

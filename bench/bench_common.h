@@ -1,0 +1,68 @@
+#ifndef MMDB_BENCH_BENCH_COMMON_H_
+#define MMDB_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "datasets/augment.h"
+#include "util/result.h"
+
+namespace mmdb::bench {
+
+/// Timing + work counters for one (database, workload, method) run.
+struct WorkloadTiming {
+  double avg_query_seconds = 0.0;
+  double total_seconds = 0.0;
+  int queries = 0;
+  QueryStats stats;
+};
+
+/// Runs `workload` against `db` with `method`, `repeats` times, and
+/// reports the average wall-clock time per query (the metric of the
+/// paper's Figures 3 and 4).
+Result<WorkloadTiming> TimeWorkload(const MultimediaDatabase& db,
+                                    const std::vector<RangeQuery>& workload,
+                                    QueryMethod method, int repeats = 3);
+
+/// Times several methods over the same workload with interleaved repeat
+/// rounds (method A pass, method B pass, repeat), reporting the median
+/// per-round time for each — robust against machine-load drift that would
+/// bias back-to-back block timing. Returns one `WorkloadTiming` per
+/// entry of `methods`, in order.
+Result<std::vector<WorkloadTiming>> TimeMethodsInterleaved(
+    const MultimediaDatabase& db, const std::vector<RangeQuery>& workload,
+    const std::vector<QueryMethod>& methods, int repeats);
+
+/// Builds a fresh in-memory augmented database for `spec`; returns the
+/// database and fills `stats` (Table 2 numbers).
+Result<std::unique_ptr<MultimediaDatabase>> BuildDatabase(
+    const datasets::DatasetSpec& spec, datasets::DatasetStats* stats);
+
+/// "helmet" / "flag" / "road-sign".
+std::string KindName(datasets::DatasetKind kind);
+
+/// Parameters of a Figure 3 / Figure 4 style sweep.
+struct FigureSweepConfig {
+  datasets::DatasetKind kind = datasets::DatasetKind::kHelmets;
+  std::string figure_name = "Figure 3";
+  int total_images = 600;
+  int queries = 30;
+  int repeats = 12;
+  double widening_probability = 0.8;
+  int min_ops = 4;
+  int max_ops = 10;
+  uint64_t seed = 2006;
+};
+
+/// Reproduces the paper's Figure 3/4 experiment: average range-query
+/// execution time vs. the percentage of images stored as sequences of
+/// editing operations, for RBM ("w/out data structure") and BWM ("with
+/// data structure"). Prints the series plus the average speedup and
+/// returns 0, or prints the error and returns 1.
+int RunFigureSweep(const FigureSweepConfig& config);
+
+}  // namespace mmdb::bench
+
+#endif  // MMDB_BENCH_BENCH_COMMON_H_

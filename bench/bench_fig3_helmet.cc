@@ -1,0 +1,12 @@
+// Reproduces paper Figure 3: range-query execution time vs. percentage of
+// images stored as sequences of editing operations, helmet data set,
+// RBM ("w/out data structure") vs BWM ("with data structure").
+
+#include "bench_common.h"
+
+int main() {
+  mmdb::bench::FigureSweepConfig config;
+  config.kind = mmdb::datasets::DatasetKind::kHelmets;
+  config.figure_name = "Figure 3";
+  return mmdb::bench::RunFigureSweep(config);
+}

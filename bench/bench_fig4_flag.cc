@@ -1,0 +1,15 @@
+// Reproduces paper Figure 4: range-query execution time vs. percentage of
+// images stored as sequences of editing operations, flag data set,
+// RBM ("w/out data structure") vs BWM ("with data structure").
+
+#include "bench_common.h"
+
+int main() {
+  mmdb::bench::FigureSweepConfig config;
+  config.kind = mmdb::datasets::DatasetKind::kFlags;
+  config.figure_name = "Figure 4";
+  // Flags carry slightly longer scripts in our augmentation mix, which is
+  // the regime where the paper saw the smaller (22%) advantage.
+  config.widening_probability = 0.7;
+  return mmdb::bench::RunFigureSweep(config);
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark) for the building blocks: rule
+// application per operation type, the BOUNDS fold, histogram extraction,
+// instantiation, PPM codec, blob store, and R-tree operations.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.h"
+#include "core/histogram.h"
+#include "core/rules.h"
+#include "datasets/augment.h"
+#include "datasets/generators.h"
+#include "image/editor.h"
+#include "image/ppm_io.h"
+#include "index/rtree.h"
+#include "storage/object_store.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+Image BenchImage(int32_t side = 96) {
+  Rng rng(1);
+  return datasets::MakeHelmetImages(1, rng, side)[0].image;
+}
+
+void BM_HistogramExtraction(benchmark::State& state) {
+  const Image image = BenchImage(static_cast<int32_t>(state.range(0)));
+  const ColorQuantizer quantizer(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractHistogram(image, quantizer));
+  }
+  state.SetItemsProcessed(state.iterations() * image.PixelCount());
+}
+BENCHMARK(BM_HistogramExtraction)->Arg(32)->Arg(96)->Arg(256);
+
+void BM_RuleApplication(benchmark::State& state) {
+  const ColorQuantizer quantizer(4);
+  const RuleEngine engine(quantizer);
+  const EditOp ops[] = {
+      EditOp(DefineOp{Rect(2, 2, 60, 60)}),
+      EditOp(ModifyOp{colors::kRed, colors::kBlue}),
+      EditOp(CombineOp::BoxBlur()),
+      EditOp(MutateOp::Translation(5, 5)),
+      EditOp(MergeOp{}),
+  };
+  const EditOp& op = ops[state.range(0)];
+  for (auto _ : state) {
+    RuleState rule_state = RuleEngine::InitialState(1000, 96, 96);
+    benchmark::DoNotOptimize(
+        engine.ApplyRule(op, 0, nullptr, &rule_state));
+  }
+  state.SetLabel(EditOpToString(op).substr(0, 12));
+}
+BENCHMARK(BM_RuleApplication)->DenseRange(0, 4);
+
+void BM_BoundsFoldVsScriptLength(benchmark::State& state) {
+  const ColorQuantizer quantizer(4);
+  const RuleEngine engine(quantizer);
+  Rng rng(2);
+  const EditScript script = datasets::MakeRandomScript(
+      1, 96, 96, /*all_widening=*/true, static_cast<int>(state.range(0)),
+      datasets::HelmetPalette(), {}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeBounds(engine, script, 0, 1000, 96, 96, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(script.ops.size()));
+}
+BENCHMARK(BM_BoundsFoldVsScriptLength)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Instantiation(benchmark::State& state) {
+  const Image base = BenchImage(96);
+  Rng rng(3);
+  const EditScript script = datasets::MakeRandomScript(
+      1, 96, 96, /*all_widening=*/true, static_cast<int>(state.range(0)),
+      datasets::HelmetPalette(), {}, rng);
+  const Editor editor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editor.Instantiate(base, script));
+  }
+}
+BENCHMARK(BM_Instantiation)->Arg(2)->Arg(8);
+
+void BM_PpmEncodeDecode(benchmark::State& state) {
+  const Image image = BenchImage(96);
+  for (auto _ : state) {
+    const std::string encoded = EncodePpm(image, PpmFormat::kBinary);
+    benchmark::DoNotOptimize(DecodePpm(encoded));
+  }
+  state.SetBytesProcessed(state.iterations() * image.PixelCount() * 3);
+}
+BENCHMARK(BM_PpmEncodeDecode);
+
+void BM_MemoryStorePutGet(benchmark::State& state) {
+  const std::string value(static_cast<size_t>(state.range(0)), 'x');
+  uint64_t key = 1;
+  MemoryObjectStore store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Put(key, value));
+    benchmark::DoNotOptimize(store.Get(key));
+    ++key;
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MemoryStorePutGet)->Arg(128)->Arg(16384);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RTree tree(8);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      std::vector<double> point(8);
+      for (double& v : point) v = rng.NextDouble();
+      benchmark::DoNotOptimize(
+          tree.Insert(HyperRect::Point(std::move(point)), i + 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(100)->Arg(1000);
+
+void BM_RTreeRangeSearch(benchmark::State& state) {
+  Rng rng(5);
+  RTree tree(8);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> point(8);
+    for (double& v : point) v = rng.NextDouble();
+    if (!tree.Insert(HyperRect::Point(std::move(point)), i + 1).ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+  }
+  HyperRect query;
+  query.min.assign(8, 0.25);
+  query.max.assign(8, 0.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeSearch(query));
+  }
+}
+BENCHMARK(BM_RTreeRangeSearch);
+
+}  // namespace
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

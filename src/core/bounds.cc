@@ -1,0 +1,39 @@
+#include "core/bounds.h"
+
+namespace mmdb {
+
+Result<RuleState> ComputeRuleState(const RuleEngine& engine,
+                                   const EditScript& script, BinIndex hb,
+                                   int64_t base_hb_count, int32_t base_width,
+                                   int32_t base_height,
+                                   const TargetBoundsResolver& resolver) {
+  RuleState state =
+      RuleEngine::InitialState(base_hb_count, base_width, base_height);
+  for (const EditOp& op : script.ops) {
+    MMDB_RETURN_IF_ERROR(engine.ApplyRule(op, hb, resolver, &state));
+  }
+  return state;
+}
+
+FractionBounds ToFractionBounds(const RuleState& state) {
+  FractionBounds bounds;
+  if (state.size > 0) {
+    bounds.min_fraction = static_cast<double>(state.hb_min) / state.size;
+    bounds.max_fraction = static_cast<double>(state.hb_max) / state.size;
+  }
+  return bounds;
+}
+
+Result<FractionBounds> ComputeBounds(const RuleEngine& engine,
+                                     const EditScript& script, BinIndex hb,
+                                     int64_t base_hb_count,
+                                     int32_t base_width, int32_t base_height,
+                                     const TargetBoundsResolver& resolver) {
+  MMDB_ASSIGN_OR_RETURN(
+      RuleState state,
+      ComputeRuleState(engine, script, hb, base_hb_count, base_width,
+                       base_height, resolver));
+  return ToFractionBounds(state);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,53 @@
+#ifndef MMDB_CORE_BOUNDS_H_
+#define MMDB_CORE_BOUNDS_H_
+
+#include "core/rules.h"
+#include "editops/edit_ops.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Bounds on the fraction of pixels of an image that map to a histogram
+/// bin: the paper's range [BOUNDmin/imagesize, BOUNDmax/imagesize].
+struct FractionBounds {
+  double min_fraction = 0.0;
+  double max_fraction = 0.0;
+
+  /// True iff this range intersects [lo, hi] — i.e. the image *may*
+  /// satisfy the query; disjoint ranges prove it cannot (no false
+  /// negatives, paper Section 3.2).
+  bool Overlaps(double lo, double hi) const {
+    return max_fraction >= lo && min_fraction <= hi;
+  }
+};
+
+/// The BOUNDS algorithm: computes fraction bounds for histogram bin `hb`
+/// of the edited image described by `script`, by folding the Table 1
+/// rules over every operation. Requires the referenced base image's exact
+/// bin count and dimensions (both read from the catalog, never from
+/// pixels).
+///
+/// `resolver` is consulted only for Merge operations with non-null
+/// targets.
+Result<FractionBounds> ComputeBounds(const RuleEngine& engine,
+                                     const EditScript& script, BinIndex hb,
+                                     int64_t base_hb_count,
+                                     int32_t base_width, int32_t base_height,
+                                     const TargetBoundsResolver& resolver);
+
+/// As `ComputeBounds`, but returns the final raw rule state (pixel-count
+/// bounds, exact size and dimensions) for callers that need more than the
+/// fractions (e.g. the recursive merge-target resolver).
+Result<RuleState> ComputeRuleState(const RuleEngine& engine,
+                                   const EditScript& script, BinIndex hb,
+                                   int64_t base_hb_count, int32_t base_width,
+                                   int32_t base_height,
+                                   const TargetBoundsResolver& resolver);
+
+/// Converts a final rule state to fraction bounds ([0, 0] for an empty
+/// image).
+FractionBounds ToFractionBounds(const RuleState& state);
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_BOUNDS_H_

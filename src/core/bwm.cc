@@ -1,0 +1,186 @@
+#include "core/bwm.h"
+
+#include <algorithm>
+
+#include "core/bounds.h"
+
+namespace mmdb {
+
+void BwmIndex::InsertBinary(ObjectId id) {
+  main_.try_emplace(id);  // Sorted by key; cluster starts empty.
+}
+
+void BwmIndex::InsertEdited(const EditedImageInfo& info) {
+  // Figure 1, step 3: scan the operations; one non-bound-widening rule
+  // sends the image to the Unclassified Component.
+  if (!RuleEngine::IsAllBoundWidening(info.script)) {
+    unclassified_.push_back(info.id);
+    return;
+  }
+  // Figure 1, step 5: append to the cluster of the referenced base image.
+  std::vector<ObjectId>& cluster = main_[info.script.base_id];
+  // Keep E_list sorted so lookups stay cheap (paper Section 4.1).
+  cluster.insert(std::upper_bound(cluster.begin(), cluster.end(), info.id),
+                 info.id);
+  ++main_edited_count_;
+}
+
+void BwmIndex::RemoveEdited(ObjectId id, ObjectId base_id) {
+  if (const auto it = main_.find(base_id); it != main_.end()) {
+    const auto pos =
+        std::lower_bound(it->second.begin(), it->second.end(), id);
+    if (pos != it->second.end() && *pos == id) {
+      it->second.erase(pos);
+      --main_edited_count_;
+      return;
+    }
+  }
+  const auto pos = std::find(unclassified_.begin(), unclassified_.end(), id);
+  if (pos != unclassified_.end()) unclassified_.erase(pos);
+}
+
+void BwmIndex::RemoveBinary(ObjectId id) {
+  const auto it = main_.find(id);
+  if (it != main_.end() && it->second.empty()) main_.erase(it);
+}
+
+std::vector<BwmIndex::Cluster> BwmIndex::MainClusters() const {
+  std::vector<Cluster> out;
+  out.reserve(main_.size());
+  for (const auto& [base_id, edited_ids] : main_) {
+    out.push_back(Cluster{base_id, edited_ids});
+  }
+  return out;
+}
+
+BwmQueryProcessor::BwmQueryProcessor(const AugmentedCollection* collection,
+                                     const BwmIndex* index,
+                                     const RuleEngine* engine)
+    : collection_(collection),
+      index_(index),
+      engine_(engine),
+      resolver_(collection->MakeTargetResolver(*engine)) {}
+
+Result<QueryResult> BwmQueryProcessor::RunRange(
+    const RangeQuery& query) const {
+  QueryResult result;
+
+  auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    const EditedImageInfo* edited = collection_->FindEdited(edited_id);
+    if (edited == nullptr) {
+      return Status::Corruption("BWM index references missing edited image " +
+                                std::to_string(edited_id));
+    }
+    const BinaryImageInfo* base =
+        collection_->FindBinary(edited->script.base_id);
+    if (base == nullptr) {
+      return Status::Corruption("edited image " + std::to_string(edited_id) +
+                                " references missing base");
+    }
+    MMDB_ASSIGN_OR_RETURN(
+        FractionBounds bounds,
+        ComputeBounds(*engine_, edited->script, query.bin,
+                      base->histogram.Count(query.bin), base->width,
+                      base->height, resolver_));
+    ++result.stats.edited_images_bounded;
+    result.stats.rules_applied +=
+        static_cast<int64_t>(edited->script.ops.size());
+    if (bounds.Overlaps(query.min_fraction, query.max_fraction)) {
+      result.ids.push_back(edited_id);
+    }
+    return Status::OK();
+  };
+
+  // Figure 2, step 4: walk the Main Component clusters.
+  for (const auto& [base_id, edited_ids] : index_->main_map()) {
+    const BinaryImageInfo* base = collection_->FindBinary(base_id);
+    if (base == nullptr) {
+      return Status::Corruption("BWM cluster references missing base " +
+                                std::to_string(base_id));
+    }
+    ++result.stats.binary_images_checked;
+    if (query.Satisfies(base->histogram.Fraction(query.bin))) {
+      // Step 4.2: the base satisfies the query, so every edited image in
+      // the cluster does too — no rules applied.
+      result.ids.push_back(base_id);
+      result.ids.insert(result.ids.end(), edited_ids.begin(),
+                        edited_ids.end());
+      result.stats.edited_images_skipped +=
+          static_cast<int64_t>(edited_ids.size());
+    } else {
+      // Step 4.3: fall back to the BOUNDS computation per cluster member.
+      for (ObjectId edited_id : edited_ids) {
+        MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+      }
+    }
+  }
+
+  // Figure 2, step 5: the Unclassified Component always pays full price.
+  for (ObjectId edited_id : index_->Unclassified()) {
+    MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+  }
+  return result;
+}
+
+Result<QueryResult> BwmQueryProcessor::RunConjunctive(
+    const ConjunctiveQuery& query) const {
+  QueryResult result;
+
+  auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    const EditedImageInfo* edited = collection_->FindEdited(edited_id);
+    if (edited == nullptr) {
+      return Status::Corruption("BWM index references missing edited image " +
+                                std::to_string(edited_id));
+    }
+    const BinaryImageInfo* base =
+        collection_->FindBinary(edited->script.base_id);
+    if (base == nullptr) {
+      return Status::Corruption("edited image " + std::to_string(edited_id) +
+                                " references missing base");
+    }
+    bool candidate = true;
+    for (const RangeQuery& conjunct : query.conjuncts) {
+      MMDB_ASSIGN_OR_RETURN(
+          FractionBounds bounds,
+          ComputeBounds(*engine_, edited->script, conjunct.bin,
+                        base->histogram.Count(conjunct.bin), base->width,
+                        base->height, resolver_));
+      result.stats.rules_applied +=
+          static_cast<int64_t>(edited->script.ops.size());
+      if (!bounds.Overlaps(conjunct.min_fraction, conjunct.max_fraction)) {
+        candidate = false;
+        break;
+      }
+    }
+    ++result.stats.edited_images_bounded;
+    if (candidate) result.ids.push_back(edited_id);
+    return Status::OK();
+  };
+
+  for (const auto& [base_id, edited_ids] : index_->main_map()) {
+    const BinaryImageInfo* base = collection_->FindBinary(base_id);
+    if (base == nullptr) {
+      return Status::Corruption("BWM cluster references missing base " +
+                                std::to_string(base_id));
+    }
+    ++result.stats.binary_images_checked;
+    if (query.Satisfies(
+            [&](BinIndex bin) { return base->histogram.Fraction(bin); })) {
+      result.ids.push_back(base_id);
+      result.ids.insert(result.ids.end(), edited_ids.begin(),
+                        edited_ids.end());
+      result.stats.edited_images_skipped +=
+          static_cast<int64_t>(edited_ids.size());
+    } else {
+      for (ObjectId edited_id : edited_ids) {
+        MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+      }
+    }
+  }
+  for (ObjectId edited_id : index_->Unclassified()) {
+    MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+  }
+  return result;
+}
+
+}  // namespace mmdb

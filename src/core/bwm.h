@@ -1,0 +1,100 @@
+#ifndef MMDB_CORE_BWM_H_
+#define MMDB_CORE_BWM_H_
+
+#include <map>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/query.h"
+#include "core/rules.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// The paper's proposed data structure (Section 4.1): a Main Component of
+/// `<B_id, E_list>` clusters holding the edited images whose operations
+/// all have bound-widening rules, keyed by referenced base image, plus an
+/// Unclassified Component for the rest.
+///
+/// Built incrementally via `InsertBinary` / `InsertEdited` (the paper's
+/// Figure 1 insertion algorithm) as images enter the database.
+class BwmIndex {
+ public:
+  /// Registers a newly inserted binary image, creating its (empty) Main
+  /// cluster. Id lists are kept sorted per the paper.
+  void InsertBinary(ObjectId id);
+
+  /// Classifies a newly inserted edited image (Figure 1): appends it to
+  /// its base's Main cluster when every operation's rule is
+  /// bound-widening, to the Unclassified Component otherwise.
+  void InsertEdited(const EditedImageInfo& info);
+
+  /// Removes an edited image from whichever component holds it; no-op if
+  /// absent. `base_id` must be the image's referenced base.
+  void RemoveEdited(ObjectId id, ObjectId base_id);
+
+  /// Removes a binary image's (empty) Main cluster; no-op if the cluster
+  /// still has members or is absent.
+  void RemoveBinary(ObjectId id);
+
+  /// One Main Component cluster.
+  struct Cluster {
+    ObjectId base_id = kInvalidObjectId;
+    std::vector<ObjectId> edited_ids;
+  };
+
+  /// Main Component clusters in base-id order (copies; use `main_map`
+  /// for zero-copy iteration in hot paths).
+  std::vector<Cluster> MainClusters() const;
+
+  /// The Main Component keyed by base image id.
+  const std::map<ObjectId, std::vector<ObjectId>>& main_map() const {
+    return main_;
+  }
+
+  /// Edited images in the Unclassified Component, in insertion order.
+  const std::vector<ObjectId>& Unclassified() const { return unclassified_; }
+
+  /// Total edited images held in Main clusters.
+  size_t MainEditedCount() const { return main_edited_count_; }
+
+ private:
+  std::map<ObjectId, std::vector<ObjectId>> main_;
+  std::vector<ObjectId> unclassified_;
+  size_t main_edited_count_ = 0;
+};
+
+/// The Bound-Widening Method (paper Section 4.2, Figure 2): processes a
+/// range query using `BwmIndex`. When a cluster's base image satisfies
+/// the query, every edited image in the cluster is accepted without
+/// applying a single rule (their ranges start at the base's satisfying
+/// value and can only widen); otherwise, and for every unclassified
+/// image, it falls back to the RBM bounds computation.
+///
+/// Produces exactly the same result set as `RbmQueryProcessor`.
+class BwmQueryProcessor {
+ public:
+  /// All referents must outlive the processor.
+  BwmQueryProcessor(const AugmentedCollection* collection,
+                    const BwmIndex* index, const RuleEngine* engine);
+
+  /// Runs `query` ("with data structure").
+  Result<QueryResult> RunRange(const RangeQuery& query) const;
+
+  /// Conjunctive variant: a Main cluster is accepted wholesale when its
+  /// base satisfies *every* conjunct (the widening argument applies
+  /// per bin, so each member's per-conjunct range contains the base's
+  /// satisfying value). Identical result sets to
+  /// `RbmQueryProcessor::RunConjunctive`.
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query) const;
+
+ private:
+  const AugmentedCollection* collection_;
+  const BwmIndex* index_;
+  const RuleEngine* engine_;
+  TargetBoundsResolver resolver_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_BWM_H_

@@ -1,0 +1,420 @@
+#include "core/database.h"
+
+#include <memory>
+#include <set>
+
+#include "editops/serialize.h"
+#include "index/indexed_bwm.h"
+#include "image/ppm_io.h"
+
+namespace mmdb {
+
+MultimediaDatabase::MultimediaDatabase(DatabaseOptions options)
+    : options_(std::move(options)),
+      quantizer_(options_.quantizer_divisions, options_.color_space),
+      rule_engine_(quantizer_, options_.rule_options),
+      histogram_index_(quantizer_.BinCount()) {
+  meta_.next_id = catalog_keys::kFirstObjectId;
+  meta_.quantizer_divisions = quantizer_.divisions();
+  meta_.color_space = static_cast<uint8_t>(quantizer_.space());
+}
+
+Result<std::unique_ptr<MultimediaDatabase>> MultimediaDatabase::Open(
+    DatabaseOptions options) {
+  std::unique_ptr<MultimediaDatabase> db(
+      new MultimediaDatabase(std::move(options)));
+  if (db->options_.path.empty()) {
+    db->store_ = std::make_unique<MemoryObjectStore>();
+  } else {
+    MMDB_ASSIGN_OR_RETURN(
+        db->store_,
+        DiskObjectStore::Open(db->options_.path, db->options_.pool_pages));
+  }
+  if (db->store_->Contains(catalog_keys::kMetaKey)) {
+    MMDB_RETURN_IF_ERROR(db->LoadExisting());
+  } else {
+    MMDB_RETURN_IF_ERROR(db->PersistMeta());
+  }
+  return db;
+}
+
+Status MultimediaDatabase::LoadExisting() {
+  MMDB_ASSIGN_OR_RETURN(std::string meta_blob,
+                        store_->Get(catalog_keys::kMetaKey));
+  MMDB_ASSIGN_OR_RETURN(meta_, DecodeCatalogMeta(meta_blob));
+  quantizer_ = ColorQuantizer(meta_.quantizer_divisions,
+                              static_cast<ColorSpace>(meta_.color_space));
+  rule_engine_ = RuleEngine(quantizer_, options_.rule_options);
+  histogram_index_ = HistogramIndex(quantizer_.BinCount());
+
+  // Catalog rows live under keys with residue 2; keys are ascending, so
+  // objects reload in insertion (id) order — which keeps collection order
+  // and BWM classification deterministic across reopen.
+  for (uint64_t key : store_->Keys()) {
+    if (key % 4 != 2 || key < catalog_keys::RowKey(catalog_keys::kFirstObjectId)) {
+      continue;
+    }
+    MMDB_ASSIGN_OR_RETURN(std::string row_blob, store_->Get(key));
+    MMDB_ASSIGN_OR_RETURN(CatalogRow row, DecodeCatalogRow(row_blob));
+    if (row.kind == ImageKind::kBinary) {
+      BinaryImageInfo info;
+      info.id = row.id;
+      info.width = row.width;
+      info.height = row.height;
+      info.histogram = ColorHistogram(quantizer_.BinCount());
+      if (static_cast<int32_t>(row.histogram_counts.size()) !=
+          quantizer_.BinCount()) {
+        return Status::Corruption("catalog row " + std::to_string(row.id) +
+                                  ": histogram arity mismatch");
+      }
+      for (size_t bin = 0; bin < row.histogram_counts.size(); ++bin) {
+        info.histogram.Add(static_cast<BinIndex>(bin),
+                           row.histogram_counts[bin]);
+      }
+      MMDB_RETURN_IF_ERROR(
+          histogram_index_.Insert(row.id, info.histogram));
+      MMDB_RETURN_IF_ERROR(collection_.AddBinary(std::move(info)));
+      bwm_index_.InsertBinary(row.id);
+    } else {
+      MMDB_ASSIGN_OR_RETURN(std::string script_blob,
+                            store_->Get(catalog_keys::ScriptKey(row.id)));
+      EditedImageInfo info;
+      info.id = row.id;
+      MMDB_ASSIGN_OR_RETURN(info.script, DecodeEditScript(script_blob));
+      bwm_index_.InsertEdited(info);
+      MMDB_RETURN_IF_ERROR(collection_.AddEdited(std::move(info)));
+    }
+  }
+  return Status::OK();
+}
+
+Status MultimediaDatabase::PersistMeta() {
+  return store_->Upsert(catalog_keys::kMetaKey, EncodeCatalogMeta(meta_));
+}
+
+Status MultimediaDatabase::WithBatch(const std::function<Status()>& body) {
+  MMDB_RETURN_IF_ERROR(store_->BeginBatch());
+  const Status result = body();
+  if (!result.ok()) {
+    store_->AbortBatch().ok();  // Preserve the original error.
+    return result;
+  }
+  return store_->CommitBatch();
+}
+
+Result<ObjectId> MultimediaDatabase::NextId() {
+  const ObjectId id = meta_.next_id++;
+  MMDB_RETURN_IF_ERROR(PersistMeta());
+  return id;
+}
+
+Result<ObjectId> MultimediaDatabase::InsertBinaryImage(const Image& image) {
+  if (image.Empty()) {
+    return Status::InvalidArgument("cannot store an empty image");
+  }
+  ObjectId id = kInvalidObjectId;
+  // The id bump, raster, and catalog row commit as one atomic batch; the
+  // in-memory structures are only touched after the stores succeed.
+  MMDB_RETURN_IF_ERROR(WithBatch([&]() -> Status {
+    MMDB_ASSIGN_OR_RETURN(id, NextId());
+
+    // Feature extraction happens here, once, at insertion time.
+    BinaryImageInfo info;
+    info.id = id;
+    info.width = image.width();
+    info.height = image.height();
+    info.histogram = ExtractHistogram(image, quantizer_);
+
+    CatalogRow row;
+    row.id = id;
+    row.kind = ImageKind::kBinary;
+    row.width = info.width;
+    row.height = info.height;
+    row.histogram_counts = info.histogram.counts();
+
+    MMDB_RETURN_IF_ERROR(store_->Put(catalog_keys::RasterKey(id),
+                                     EncodePpm(image, PpmFormat::kBinary)));
+    MMDB_RETURN_IF_ERROR(
+        store_->Put(catalog_keys::RowKey(id), EncodeCatalogRow(row)));
+    MMDB_RETURN_IF_ERROR(histogram_index_.Insert(id, info.histogram));
+    MMDB_RETURN_IF_ERROR(collection_.AddBinary(std::move(info)));
+    bwm_index_.InsertBinary(id);
+    return Status::OK();
+  }));
+  return id;
+}
+
+Status MultimediaDatabase::ValidateScript(const EditScript& script) const {
+  if (collection_.FindBinary(script.base_id) == nullptr) {
+    return Status::NotFound("base image " + std::to_string(script.base_id) +
+                            " is not a stored binary image");
+  }
+  for (const EditOp& op : script.ops) {
+    if (GetOpType(op) != EditOpType::kMerge) continue;
+    const MergeOp& merge = std::get<MergeOp>(op);
+    if (merge.IsNullTarget()) continue;
+    if (collection_.FindBinary(*merge.target) == nullptr &&
+        collection_.FindEdited(*merge.target) == nullptr) {
+      return Status::NotFound("merge target " + std::to_string(*merge.target) +
+                              " is not stored");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ObjectId> MultimediaDatabase::InsertEditedImage(
+    const EditScript& script) {
+  MMDB_RETURN_IF_ERROR(ValidateScript(script));
+  ObjectId id = kInvalidObjectId;
+  MMDB_RETURN_IF_ERROR(WithBatch([&]() -> Status {
+    MMDB_ASSIGN_OR_RETURN(id, NextId());
+
+    CatalogRow row;
+    row.id = id;
+    row.kind = ImageKind::kEdited;
+
+    MMDB_RETURN_IF_ERROR(
+        store_->Put(catalog_keys::ScriptKey(id), EncodeEditScript(script)));
+    MMDB_RETURN_IF_ERROR(
+        store_->Put(catalog_keys::RowKey(id), EncodeCatalogRow(row)));
+
+    EditedImageInfo info;
+    info.id = id;
+    info.script = script;
+    bwm_index_.InsertEdited(info);  // Figure 1 insertion algorithm.
+    return collection_.AddEdited(std::move(info));
+  }));
+  return id;
+}
+
+ImageResolver MultimediaDatabase::MakePixelResolver() const {
+  // Shared in-flight set guards against merge-target cycles.
+  auto in_flight = std::make_shared<std::set<ObjectId>>();
+  auto self = std::make_shared<ImageResolver>();
+  *self = [this, in_flight, self](ObjectId id) -> Result<Image> {
+    if (collection_.FindBinary(id) != nullptr) {
+      MMDB_ASSIGN_OR_RETURN(std::string blob,
+                            store_->Get(catalog_keys::RasterKey(id)));
+      return DecodePpm(blob);
+    }
+    const EditedImageInfo* edited = collection_.FindEdited(id);
+    if (edited == nullptr) {
+      return Status::NotFound("image object " + std::to_string(id));
+    }
+    if (!in_flight->insert(id).second) {
+      return Status::InvalidArgument("merge target cycle through object " +
+                                     std::to_string(id));
+    }
+    Result<Image> base = (*self)(edited->script.base_id);
+    if (!base.ok()) {
+      in_flight->erase(id);
+      return base.status();
+    }
+    Editor editor(*self);
+    Result<Image> out = editor.Instantiate(*base, edited->script);
+    in_flight->erase(id);
+    return out;
+  };
+  return *self;
+}
+
+Result<Image> MultimediaDatabase::GetImage(ObjectId id) const {
+  return MakePixelResolver()(id);
+}
+
+Result<QueryResult> MultimediaDatabase::RunRange(const RangeQuery& query,
+                                                 QueryMethod method) const {
+  if (query.bin < 0 || query.bin >= quantizer_.BinCount()) {
+    return Status::InvalidArgument("query bin " + std::to_string(query.bin) +
+                                   " out of range");
+  }
+  if (query.min_fraction > query.max_fraction) {
+    return Status::InvalidArgument("query range is empty");
+  }
+  switch (method) {
+    case QueryMethod::kInstantiate: {
+      InstantiationQueryProcessor processor(&collection_, &quantizer_,
+                                            MakePixelResolver());
+      return processor.RunRange(query);
+    }
+    case QueryMethod::kRbm: {
+      RbmQueryProcessor processor(&collection_, &rule_engine_);
+      return processor.RunRange(query);
+    }
+    case QueryMethod::kBwm: {
+      BwmQueryProcessor processor(&collection_, &bwm_index_, &rule_engine_);
+      return processor.RunRange(query);
+    }
+    case QueryMethod::kBwmIndexed: {
+      IndexedBwmQueryProcessor processor(&collection_, &bwm_index_,
+                                         &rule_engine_, &histogram_index_);
+      return processor.RunRange(query);
+    }
+  }
+  return Status::InvalidArgument("unknown query method");
+}
+
+Result<QueryResult> MultimediaDatabase::RunConjunctive(
+    const ConjunctiveQuery& query, QueryMethod method) const {
+  if (query.conjuncts.empty()) {
+    return Status::InvalidArgument("conjunctive query has no conjuncts");
+  }
+  for (const RangeQuery& conjunct : query.conjuncts) {
+    if (conjunct.bin < 0 || conjunct.bin >= quantizer_.BinCount()) {
+      return Status::InvalidArgument("conjunct bin out of range");
+    }
+    if (conjunct.min_fraction > conjunct.max_fraction) {
+      return Status::InvalidArgument("conjunct range is empty");
+    }
+  }
+  switch (method) {
+    case QueryMethod::kInstantiate: {
+      InstantiationQueryProcessor processor(&collection_, &quantizer_,
+                                            MakePixelResolver());
+      return processor.RunConjunctive(query);
+    }
+    case QueryMethod::kRbm: {
+      RbmQueryProcessor processor(&collection_, &rule_engine_);
+      return processor.RunConjunctive(query);
+    }
+    case QueryMethod::kBwm:
+    case QueryMethod::kBwmIndexed: {
+      // The R-tree probes one bin per search; conjunctions use the plain
+      // BWM path.
+      BwmQueryProcessor processor(&collection_, &bwm_index_, &rule_engine_);
+      return processor.RunConjunctive(query);
+    }
+  }
+  return Status::InvalidArgument("unknown query method");
+}
+
+Status MultimediaDatabase::DeleteImage(ObjectId id) {
+  if (const EditedImageInfo* edited = collection_.FindEdited(id)) {
+    // Refuse while some other edited image merges into this one.
+    for (ObjectId other_id : collection_.edited_ids()) {
+      if (other_id == id) continue;
+      const EditedImageInfo* other = collection_.FindEdited(other_id);
+      for (const EditOp& op : other->script.ops) {
+        if (GetOpType(op) != EditOpType::kMerge) continue;
+        const MergeOp& merge = std::get<MergeOp>(op);
+        if (merge.target.has_value() && *merge.target == id) {
+          return Status::InvalidArgument(
+              "image " + std::to_string(id) + " is a merge target of " +
+              std::to_string(other_id));
+        }
+      }
+    }
+    const ObjectId base_id = edited->script.base_id;
+    // Store mutations first (atomically), in-memory state after.
+    MMDB_RETURN_IF_ERROR(WithBatch([&]() -> Status {
+      MMDB_RETURN_IF_ERROR(store_->Delete(catalog_keys::ScriptKey(id)));
+      return store_->Delete(catalog_keys::RowKey(id));
+    }));
+    MMDB_RETURN_IF_ERROR(collection_.RemoveEdited(id));
+    bwm_index_.RemoveEdited(id, base_id);
+    return Status::OK();
+  }
+  if (collection_.FindBinary(id) != nullptr) {
+    // Refuse while referenced as a base (checked by the collection) or
+    // as a merge target of any stored edited image.
+    for (ObjectId other_id : collection_.edited_ids()) {
+      const EditedImageInfo* other = collection_.FindEdited(other_id);
+      for (const EditOp& op : other->script.ops) {
+        if (GetOpType(op) != EditOpType::kMerge) continue;
+        const MergeOp& merge = std::get<MergeOp>(op);
+        if (merge.target.has_value() && *merge.target == id) {
+          return Status::InvalidArgument(
+              "image " + std::to_string(id) + " is a merge target of " +
+              std::to_string(other_id));
+        }
+      }
+    }
+    const BinaryImageInfo* info = collection_.FindBinary(id);
+    const HyperRect index_key =
+        HyperRect::Point(info->histogram.Normalized());
+    // RemoveBinary validates the no-dependents precondition; only then
+    // may the derived structures change.
+    MMDB_RETURN_IF_ERROR(collection_.RemoveBinary(id));
+    MMDB_RETURN_IF_ERROR(histogram_index_.Remove(index_key, id));
+    bwm_index_.RemoveBinary(id);
+    return WithBatch([&]() -> Status {
+      MMDB_RETURN_IF_ERROR(store_->Delete(catalog_keys::RasterKey(id)));
+      return store_->Delete(catalog_keys::RowKey(id));
+    });
+  }
+  return Status::NotFound("image object " + std::to_string(id));
+}
+
+std::vector<ObjectId> MultimediaDatabase::ExpandWithConnections(
+    const std::vector<ObjectId>& ids) const {
+  std::set<ObjectId> out(ids.begin(), ids.end());
+  for (ObjectId id : ids) {
+    if (const EditedImageInfo* edited = collection_.FindEdited(id)) {
+      out.insert(edited->script.base_id);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+Result<MultimediaDatabase::IntegrityReport>
+MultimediaDatabase::VerifyIntegrity(bool deep_pixels) const {
+  IntegrityReport report;
+  for (ObjectId id : collection_.binary_ids()) {
+    const BinaryImageInfo* info = collection_.FindBinary(id);
+    ++report.binary_images_checked;
+    MMDB_ASSIGN_OR_RETURN(std::string blob,
+                          store_->Get(catalog_keys::RasterKey(id)));
+    MMDB_ASSIGN_OR_RETURN(Image image, DecodePpm(blob));
+    ++report.rasters_verified;
+    if (image.width() != info->width || image.height() != info->height) {
+      return Status::Corruption("image " + std::to_string(id) +
+                                ": stored raster dimensions disagree with "
+                                "catalog");
+    }
+    if (info->histogram.Total() != image.PixelCount()) {
+      return Status::Corruption("image " + std::to_string(id) +
+                                ": histogram total disagrees with raster");
+    }
+    if (deep_pixels &&
+        !(ExtractHistogram(image, quantizer_) == info->histogram)) {
+      return Status::Corruption("image " + std::to_string(id) +
+                                ": histogram does not match pixels");
+    }
+  }
+
+  size_t widening_count = 0;
+  for (ObjectId id : collection_.edited_ids()) {
+    const EditedImageInfo* info = collection_.FindEdited(id);
+    ++report.edited_images_checked;
+    MMDB_ASSIGN_OR_RETURN(std::string blob,
+                          store_->Get(catalog_keys::ScriptKey(id)));
+    MMDB_ASSIGN_OR_RETURN(EditScript script, DecodeEditScript(blob));
+    ++report.scripts_verified;
+    if (!(script == info->script)) {
+      return Status::Corruption("image " + std::to_string(id) +
+                                ": stored script disagrees with memory");
+    }
+    MMDB_RETURN_IF_ERROR(ValidateScript(script));
+    if (RuleEngine::IsAllBoundWidening(script)) ++widening_count;
+  }
+
+  if (bwm_index_.MainEditedCount() != widening_count) {
+    return Status::Corruption(
+        "BWM Main component holds " +
+        std::to_string(bwm_index_.MainEditedCount()) +
+        " images but the collection has " + std::to_string(widening_count) +
+        " bound-widening scripts");
+  }
+  if (bwm_index_.Unclassified().size() !=
+      collection_.EditedCount() - widening_count) {
+    return Status::Corruption("BWM Unclassified component size mismatch");
+  }
+  return report;
+}
+
+Status MultimediaDatabase::Flush() {
+  MMDB_RETURN_IF_ERROR(PersistMeta());
+  return store_->Flush();
+}
+
+}  // namespace mmdb

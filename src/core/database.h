@@ -1,0 +1,178 @@
+#ifndef MMDB_CORE_DATABASE_H_
+#define MMDB_CORE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/bwm.h"
+#include "core/collection.h"
+#include "core/instantiate.h"
+#include "core/quantizer.h"
+#include "core/query.h"
+#include "core/rbm.h"
+#include "core/rules.h"
+#include "index/histogram_index.h"
+#include "image/editor.h"
+#include "image/image.h"
+#include "storage/catalog.h"
+#include "storage/object_store.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Configuration for opening a `MultimediaDatabase`.
+struct DatabaseOptions {
+  /// Page file path; empty opens a volatile in-memory database (the
+  /// configuration the paper's performance evaluation uses).
+  std::string path;
+  /// Buffer pool frames for a disk-backed database.
+  size_t pool_pages = 256;
+  /// Divisions per color axis of the quantizer (ignored when reopening
+  /// an existing database, whose persisted value wins).
+  int32_t quantizer_divisions = 4;
+  /// Color model the quantizer divides (also persisted; the stored value
+  /// wins on reopen).
+  ColorSpace color_space = ColorSpace::kRgb;
+  /// Rule engine fidelity (see `RuleOptions`).
+  RuleOptions rule_options;
+};
+
+/// How a range query is processed.
+enum class QueryMethod {
+  /// Materialize every edited image and re-extract features (baseline).
+  kInstantiate,
+  /// Rule-Based Method: fold Table 1 rules over every edit script
+  /// ("w/out data structure" in the paper's figures).
+  kRbm,
+  /// Bound-Widening Method: RBM plus the Main/Unclassified data structure
+  /// ("with data structure").
+  kBwm,
+  /// BWM with the binary-image side answered by the histogram R-tree
+  /// (the conventional access path of Section 4's opening) instead of a
+  /// linear histogram scan. Same result sets as kBwm.
+  kBwmIndexed,
+};
+
+/// The augmented multimedia database facade.
+///
+/// Owns the object store (rasters, scripts, catalog rows), the in-memory
+/// `AugmentedCollection` the query processors scan, and the BWM index,
+/// keeping all three consistent as images are inserted. Binary images get
+/// their color histogram extracted exactly once, at insertion; edited
+/// images are stored purely as operation sequences and are only ever
+/// instantiated on explicit retrieval (or by the kInstantiate baseline).
+///
+/// Thread safety: mutations (`Insert*`, `DeleteImage`, `Flush`) require
+/// external serialization. The rule-based query paths (`RunRange` /
+/// `RunConjunctive` with kRbm / kBwm / kBwmIndexed) and the similarity
+/// searcher read only in-memory structures and may run concurrently from
+/// any number of threads between mutations. Paths that touch the object
+/// store (`GetImage`, kInstantiate, `VerifyIntegrity`) are concurrency-
+/// safe only on an in-memory store; the disk store's buffer pool is
+/// single-threaded.
+class MultimediaDatabase {
+ public:
+  /// Opens (creating or reloading) a database per `options`.
+  static Result<std::unique_ptr<MultimediaDatabase>> Open(
+      DatabaseOptions options = {});
+
+  MultimediaDatabase(const MultimediaDatabase&) = delete;
+  MultimediaDatabase& operator=(const MultimediaDatabase&) = delete;
+
+  /// Stores a conventional (binary) image; extracts and catalogs its
+  /// histogram. Returns the new object id.
+  Result<ObjectId> InsertBinaryImage(const Image& image);
+
+  /// Stores an edited image as its operation sequence. The referenced
+  /// base image and every Merge target must already be stored. Returns
+  /// the new object id.
+  Result<ObjectId> InsertEditedImage(const EditScript& script);
+
+  /// Retrieves an image's pixels, instantiating it when it is stored as
+  /// an edit sequence.
+  Result<Image> GetImage(ObjectId id) const;
+
+  /// Answers a color range query with the chosen method. All three
+  /// methods agree on binary images; kRbm and kBwm return identical
+  /// result sets, a superset of kInstantiate's (no false negatives).
+  Result<QueryResult> RunRange(const RangeQuery& query,
+                               QueryMethod method) const;
+
+  /// Answers a conjunction of range predicates ("at least 25% blue AND
+  /// at most 10% red") with the chosen method; same cross-method
+  /// guarantees as `RunRange`.
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
+                                     QueryMethod method) const;
+
+  /// Removes an image object. An edited image is always removable; a
+  /// binary image is removable only while no stored edited image
+  /// references it as its base or as a Merge target (FailedPrecondition
+  /// is reported as InvalidArgument with the referencing id).
+  Status DeleteImage(ObjectId id);
+
+  /// Expands a result id set with the Section 2 connection semantics:
+  /// for every matched edited image, its referenced base image is added
+  /// (a user searching for op(x) should also see x).
+  std::vector<ObjectId> ExpandWithConnections(
+      const std::vector<ObjectId>& ids) const;
+
+  /// Convenience: the histogram bin a color falls into.
+  BinIndex BinOf(const Rgb& color) const { return quantizer_.BinOf(color); }
+
+  const ColorQuantizer& quantizer() const { return quantizer_; }
+  const RuleEngine& rule_engine() const { return rule_engine_; }
+  const AugmentedCollection& collection() const { return collection_; }
+  const BwmIndex& bwm_index() const { return bwm_index_; }
+  /// R-tree over the binary images' histogram signatures, kept in sync
+  /// by inserts and deletes; drives `QueryMethod::kBwmIndexed`.
+  const HistogramIndex& histogram_index() const { return histogram_index_; }
+  const ObjectStore& object_store() const { return *store_; }
+
+  /// Resolver that loads (and instantiates, for edited ids) pixels from
+  /// the store; used by the editor for Merge targets and by examples.
+  ImageResolver MakePixelResolver() const;
+
+  /// Persists buffered pages and the catalog metadata.
+  Status Flush();
+
+  /// Results of an integrity scan.
+  struct IntegrityReport {
+    int64_t binary_images_checked = 0;
+    int64_t edited_images_checked = 0;
+    int64_t rasters_verified = 0;
+    int64_t scripts_verified = 0;
+  };
+
+  /// Cross-checks the in-memory state against the object store: every
+  /// binary image's raster must exist, decode, and match its cataloged
+  /// dimensions (and, when `deep_pixels` is set, re-extract to the
+  /// cataloged histogram); every edited image's stored script must decode
+  /// to the in-memory one with a valid base and valid merge targets; and
+  /// the BWM index must hold exactly the bound-widening scripts in its
+  /// Main component. Returns the first inconsistency as an error.
+  Result<IntegrityReport> VerifyIntegrity(bool deep_pixels = false) const;
+
+ private:
+  explicit MultimediaDatabase(DatabaseOptions options);
+
+  Status LoadExisting();
+  Status PersistMeta();
+  /// Runs `body` inside an object-store batch, aborting it on failure.
+  Status WithBatch(const std::function<Status()>& body);
+  Result<ObjectId> NextId();
+  Status ValidateScript(const EditScript& script) const;
+
+  DatabaseOptions options_;
+  std::unique_ptr<ObjectStore> store_;
+  ColorQuantizer quantizer_;
+  RuleEngine rule_engine_;
+  AugmentedCollection collection_;
+  BwmIndex bwm_index_;
+  HistogramIndex histogram_index_;
+  CatalogMeta meta_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_DATABASE_H_

@@ -1,0 +1,78 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace mmdb {
+
+std::vector<double> ColorHistogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ > 0) {
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      out[i] = static_cast<double>(counts_[i]) / total_;
+    }
+  }
+  return out;
+}
+
+std::string ColorHistogram::ToString() const {
+  std::ostringstream os;
+  os << "Histogram(total=" << total_ << ", nonzero={";
+  bool first = true;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << i << ":" << counts_[i];
+  }
+  os << "})";
+  return os.str();
+}
+
+ColorHistogram ExtractHistogram(const Image& image,
+                                const ColorQuantizer& quantizer) {
+  ColorHistogram hist(quantizer.BinCount());
+  for (const Rgb& p : image.pixels()) {
+    hist.Add(quantizer.BinOf(p), 1);
+  }
+  return hist;
+}
+
+double HistogramIntersection(const ColorHistogram& x,
+                             const ColorHistogram& y) {
+  assert(x.BinCount() == y.BinCount());
+  const std::vector<double> nx = x.Normalized();
+  const std::vector<double> ny = y.Normalized();
+  double sum = 0.0;
+  for (size_t i = 0; i < nx.size(); ++i) sum += std::min(nx[i], ny[i]);
+  return sum;
+}
+
+double LpDistance(const ColorHistogram& x, const ColorHistogram& y, double p) {
+  assert(x.BinCount() == y.BinCount());
+  assert(p >= 1.0);
+  const std::vector<double> nx = x.Normalized();
+  const std::vector<double> ny = y.Normalized();
+  double sum = 0.0;
+  for (size_t i = 0; i < nx.size(); ++i) {
+    sum += std::pow(std::fabs(nx[i] - ny[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+double L1Distance(const ColorHistogram& x, const ColorHistogram& y) {
+  assert(x.BinCount() == y.BinCount());
+  const std::vector<double> nx = x.Normalized();
+  const std::vector<double> ny = y.Normalized();
+  double sum = 0.0;
+  for (size_t i = 0; i < nx.size(); ++i) sum += std::fabs(nx[i] - ny[i]);
+  return sum;
+}
+
+double L2Distance(const ColorHistogram& x, const ColorHistogram& y) {
+  return LpDistance(x, y, 2.0);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,85 @@
+#ifndef MMDB_CORE_HISTOGRAM_H_
+#define MMDB_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/quantizer.h"
+#include "image/image.h"
+
+namespace mmdb {
+
+/// A color histogram: per-bin pixel counts plus the total pixel count.
+///
+/// This is the color-feature signature the MMDBMS extracts from every
+/// conventionally stored (binary) image at insertion time. Each bin holds
+/// the number of pixels whose color quantizes to that bin; `Fraction(bin)`
+/// is the percentage-of-pixels value that range queries test.
+class ColorHistogram {
+ public:
+  /// An all-zero histogram with `bin_count` bins.
+  explicit ColorHistogram(int32_t bin_count = 0)
+      : counts_(static_cast<size_t>(bin_count), 0) {}
+
+  int32_t BinCount() const { return static_cast<int32_t>(counts_.size()); }
+
+  /// Pixel count in `bin`.
+  int64_t Count(BinIndex bin) const {
+    return counts_[static_cast<size_t>(bin)];
+  }
+  /// Mutable access used by extraction.
+  void Add(BinIndex bin, int64_t delta) {
+    counts_[static_cast<size_t>(bin)] += delta;
+    total_ += delta;
+  }
+
+  /// Total pixels (the paper's `imagesize`).
+  int64_t Total() const { return total_; }
+
+  /// Fraction of pixels in `bin`, in [0, 1]; 0 for an empty image.
+  double Fraction(BinIndex bin) const {
+    return total_ > 0 ? static_cast<double>(Count(bin)) / total_ : 0.0;
+  }
+
+  /// All per-bin fractions (the normalized n-dimensional histogram used by
+  /// the similarity functions).
+  std::vector<double> Normalized() const;
+
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ColorHistogram& a, const ColorHistogram& b) {
+    return a.counts_ == b.counts_;
+  }
+
+ private:
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Extracts the color histogram of `image` under `quantizer`. This is the
+/// expensive feature-extraction step the paper's methods avoid re-running
+/// on edited images.
+ColorHistogram ExtractHistogram(const Image& image,
+                                const ColorQuantizer& quantizer);
+
+/// Histogram Intersection similarity (paper Eq. 1, Swain & Ballard):
+/// sum_i min(x_i, y_i) over normalized histograms. In [0, 1]; 1 iff equal.
+/// Histograms must have the same bin count.
+double HistogramIntersection(const ColorHistogram& x, const ColorHistogram& y);
+
+/// L_p distance between normalized histograms (paper Eq. 2):
+/// (sum_i |x_i - y_i|^p)^(1/p). `p` >= 1.
+double LpDistance(const ColorHistogram& x, const ColorHistogram& y, double p);
+
+/// L1 (Manhattan) distance, the most common special case.
+double L1Distance(const ColorHistogram& x, const ColorHistogram& y);
+
+/// L2 (Euclidean) distance.
+double L2Distance(const ColorHistogram& x, const ColorHistogram& y);
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_HISTOGRAM_H_

@@ -1,0 +1,70 @@
+#include "core/instantiate.h"
+
+namespace mmdb {
+
+InstantiationQueryProcessor::InstantiationQueryProcessor(
+    const AugmentedCollection* collection, const ColorQuantizer* quantizer,
+    ImageResolver pixels)
+    : collection_(collection),
+      quantizer_(quantizer),
+      pixels_(std::move(pixels)),
+      editor_(pixels_) {}
+
+Result<Image> InstantiationQueryProcessor::Materialize(
+    const EditedImageInfo& info) const {
+  MMDB_ASSIGN_OR_RETURN(Image base, pixels_(info.script.base_id));
+  return editor_.Instantiate(base, info.script);
+}
+
+Result<ColorHistogram> InstantiationQueryProcessor::ExactHistogram(
+    const EditedImageInfo& info) const {
+  MMDB_ASSIGN_OR_RETURN(Image image, Materialize(info));
+  return ExtractHistogram(image, *quantizer_);
+}
+
+Result<QueryResult> InstantiationQueryProcessor::RunRange(
+    const RangeQuery& query) const {
+  QueryResult result;
+  for (ObjectId id : collection_->binary_ids()) {
+    const BinaryImageInfo* binary = collection_->FindBinary(id);
+    ++result.stats.binary_images_checked;
+    if (query.Satisfies(binary->histogram.Fraction(query.bin))) {
+      result.ids.push_back(id);
+    }
+  }
+  for (ObjectId id : collection_->edited_ids()) {
+    const EditedImageInfo* edited = collection_->FindEdited(id);
+    MMDB_ASSIGN_OR_RETURN(ColorHistogram hist, ExactHistogram(*edited));
+    ++result.stats.images_instantiated;
+    if (query.Satisfies(hist.Fraction(query.bin))) {
+      result.ids.push_back(id);
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> InstantiationQueryProcessor::RunConjunctive(
+    const ConjunctiveQuery& query) const {
+  QueryResult result;
+  for (ObjectId id : collection_->binary_ids()) {
+    const BinaryImageInfo* binary = collection_->FindBinary(id);
+    ++result.stats.binary_images_checked;
+    if (query.Satisfies([&](BinIndex bin) {
+          return binary->histogram.Fraction(bin);
+        })) {
+      result.ids.push_back(id);
+    }
+  }
+  for (ObjectId id : collection_->edited_ids()) {
+    const EditedImageInfo* edited = collection_->FindEdited(id);
+    MMDB_ASSIGN_OR_RETURN(ColorHistogram hist, ExactHistogram(*edited));
+    ++result.stats.images_instantiated;
+    if (query.Satisfies(
+            [&](BinIndex bin) { return hist.Fraction(bin); })) {
+      result.ids.push_back(id);
+    }
+  }
+  return result;
+}
+
+}  // namespace mmdb

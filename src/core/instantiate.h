@@ -1,0 +1,49 @@
+#ifndef MMDB_CORE_INSTANTIATE_H_
+#define MMDB_CORE_INSTANTIATE_H_
+
+#include "core/collection.h"
+#include "core/query.h"
+#include "image/editor.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// The naive baseline the paper argues against: answer queries over
+/// edited images by materializing each one's pixels with the editor and
+/// re-running feature extraction. Exact (no false positives either), but
+/// pays the full instantiation cost the rule-based methods avoid.
+///
+/// The test suite uses this processor as ground truth: RBM/BWM must
+/// return a superset of its edited-image matches (no false negatives)
+/// and identical binary-image matches.
+class InstantiationQueryProcessor {
+ public:
+  /// `pixels` resolves any object id (binary images at minimum) to its
+  /// raster; all referents must outlive the processor.
+  InstantiationQueryProcessor(const AugmentedCollection* collection,
+                              const ColorQuantizer* quantizer,
+                              ImageResolver pixels);
+
+  /// Runs `query`, instantiating every edited image.
+  Result<QueryResult> RunRange(const RangeQuery& query) const;
+
+  /// Conjunctive variant (exact).
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query) const;
+
+  /// Materializes one edited image (used by examples and by the facade's
+  /// retrieval path).
+  Result<Image> Materialize(const EditedImageInfo& info) const;
+
+  /// Exact histogram of one edited image.
+  Result<ColorHistogram> ExactHistogram(const EditedImageInfo& info) const;
+
+ private:
+  const AugmentedCollection* collection_;
+  const ColorQuantizer* quantizer_;
+  ImageResolver pixels_;
+  Editor editor_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_INSTANTIATE_H_

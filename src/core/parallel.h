@@ -1,0 +1,39 @@
+#ifndef MMDB_CORE_PARALLEL_H_
+#define MMDB_CORE_PARALLEL_H_
+
+#include "core/collection.h"
+#include "core/query.h"
+#include "core/rules.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Multi-threaded Rule-Based Method scan (beyond-paper extension).
+///
+/// The per-edited-image BOUNDS folds are independent, so the scan
+/// partitions the edited images into contiguous chunks and bounds each
+/// chunk on its own thread (each with its own merge-target resolver —
+/// the resolvers' cycle-detection state is not shareable). Results are
+/// concatenated in chunk order, making the output deterministic and
+/// identical to the serial `RbmQueryProcessor` (the tests enforce both).
+class ParallelRbmQueryProcessor {
+ public:
+  /// `threads` <= 1 degenerates to the serial scan. Referents must
+  /// outlive the processor.
+  ParallelRbmQueryProcessor(const AugmentedCollection* collection,
+                            const RuleEngine* engine, int threads);
+
+  /// Runs `query` with the configured parallelism.
+  Result<QueryResult> RunRange(const RangeQuery& query) const;
+
+  int threads() const { return threads_; }
+
+ private:
+  const AugmentedCollection* collection_;
+  const RuleEngine* engine_;
+  int threads_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_PARALLEL_H_

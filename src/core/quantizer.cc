@@ -1,0 +1,98 @@
+#include "core/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmdb {
+
+std::string_view ColorSpaceName(ColorSpace space) {
+  switch (space) {
+    case ColorSpace::kRgb:
+      return "RGB";
+    case ColorSpace::kHsv:
+      return "HSV";
+    case ColorSpace::kLuv:
+      return "Luv";
+  }
+  return "Unknown";
+}
+
+ColorQuantizer::ColorQuantizer(int32_t divisions, ColorSpace space)
+    : divisions_(std::clamp(divisions, 1, 256)), space_(space) {}
+
+int32_t ColorQuantizer::UnitCell(double v) const {
+  const int32_t cell = static_cast<int32_t>(v * divisions_);
+  return std::clamp(cell, 0, divisions_ - 1);
+}
+
+namespace {
+// Uniform quantization window for the L*u*v* axes; sRGB colors stay
+// comfortably within these ranges.
+constexpr double kLuvLMax = 100.0;
+constexpr double kLuvUMin = -134.0, kLuvUMax = 220.0;
+constexpr double kLuvVMin = -140.0, kLuvVMax = 122.0;
+}  // namespace
+
+BinIndex ColorQuantizer::BinOf(const Rgb& color) const {
+  switch (space_) {
+    case ColorSpace::kRgb: {
+      const int32_t r = AxisCell(color.r);
+      const int32_t g = AxisCell(color.g);
+      const int32_t b = AxisCell(color.b);
+      return (r * divisions_ + g) * divisions_ + b;
+    }
+    case ColorSpace::kHsv: {
+      const Hsv hsv = RgbToHsv(color);
+      const int32_t h = UnitCell(hsv.h / 360.0);
+      const int32_t s = UnitCell(hsv.s);
+      const int32_t v = UnitCell(hsv.v);
+      return (h * divisions_ + s) * divisions_ + v;
+    }
+    case ColorSpace::kLuv: {
+      const Luv luv = RgbToLuv(color);
+      const int32_t l = UnitCell(luv.l / kLuvLMax);
+      const int32_t u =
+          UnitCell((luv.u - kLuvUMin) / (kLuvUMax - kLuvUMin));
+      const int32_t v =
+          UnitCell((luv.v - kLuvVMin) / (kLuvVMax - kLuvVMin));
+      return (l * divisions_ + u) * divisions_ + v;
+    }
+  }
+  return 0;
+}
+
+Rgb ColorQuantizer::BinCenter(BinIndex bin) const {
+  const int32_t c2 = bin % divisions_;
+  const int32_t c1 = (bin / divisions_) % divisions_;
+  const int32_t c0 = bin / (divisions_ * divisions_);
+  if (space_ == ColorSpace::kRgb) {
+    auto center = [this](int32_t cell) {
+      const int32_t lo = cell * 256 / divisions_;
+      const int32_t hi = (cell + 1) * 256 / divisions_;
+      return static_cast<uint8_t>(std::min(255, (lo + hi) / 2));
+    };
+    return Rgb(center(c0), center(c1), center(c2));
+  }
+  auto unit_center = [this](int32_t cell) {
+    return (cell + 0.5) / divisions_;
+  };
+  if (space_ == ColorSpace::kHsv) {
+    Hsv hsv;
+    hsv.h = unit_center(c0) * 360.0;
+    hsv.s = unit_center(c1);
+    hsv.v = unit_center(c2);
+    return HsvToRgb(hsv);
+  }
+  Luv luv;
+  luv.l = unit_center(c0) * kLuvLMax;
+  luv.u = kLuvUMin + unit_center(c1) * (kLuvUMax - kLuvUMin);
+  luv.v = kLuvVMin + unit_center(c2) * (kLuvVMax - kLuvVMin);
+  return LuvToRgb(luv);
+}
+
+std::string ColorQuantizer::DescribeBin(BinIndex bin) const {
+  return "bin " + std::to_string(bin) + " = center " +
+         BinCenter(bin).ToHexString();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,79 @@
+#ifndef MMDB_CORE_QUANTIZER_H_
+#define MMDB_CORE_QUANTIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "image/color.h"
+
+namespace mmdb {
+
+/// Index of a color histogram bin (the paper's `HB`).
+using BinIndex = int32_t;
+
+/// Color model whose space the quantizer divides. Per the paper (Section
+/// 3.1), histograms are built by "uniformly quantizing the space of a
+/// color model such as RGB, HSV, or Luv".
+enum class ColorSpace : uint8_t {
+  kRgb = 0,
+  kHsv = 1,
+  kLuv = 2,
+};
+
+/// Returns "RGB" / "HSV" / "Luv".
+std::string_view ColorSpaceName(ColorSpace space);
+
+/// Uniform quantizer of a color space.
+///
+/// `divisions = 4` over RGB gives the 64-bin histogram used as the
+/// repo-wide default. In HSV mode the hue circle [0, 360), saturation
+/// [0, 1], and value [0, 1] are each divided uniformly instead — better
+/// aligned with perceptual similarity for saturated palettes.
+class ColorQuantizer {
+ public:
+  /// Creates a quantizer with `divisions` cells per axis (so
+  /// `divisions`^3 bins). Values outside [1, 256] are clamped.
+  explicit ColorQuantizer(int32_t divisions = 4,
+                          ColorSpace space = ColorSpace::kRgb);
+
+  /// Number of divisions per axis.
+  int32_t divisions() const { return divisions_; }
+
+  /// The color model being quantized.
+  ColorSpace space() const { return space_; }
+
+  /// Total number of bins (`divisions`^3), the histogram dimensionality.
+  int32_t BinCount() const { return divisions_ * divisions_ * divisions_; }
+
+  /// Maps a color to its bin.
+  BinIndex BinOf(const Rgb& color) const;
+
+  /// A representative color inside `bin` (useful for visualization and
+  /// for picking the query bin for "25% blue"-style queries). In RGB
+  /// mode it always maps back to `bin` under `BinOf`; in HSV mode that
+  /// holds for saturated, bright bins (low-saturation bins collapse
+  /// toward gray, where hue is ill-defined at 8-bit precision).
+  Rgb BinCenter(BinIndex bin) const;
+
+  /// Debug rendering like "bin 42 = center #3f7fbf".
+  std::string DescribeBin(BinIndex bin) const;
+
+  friend bool operator==(const ColorQuantizer& a, const ColorQuantizer& b) {
+    return a.divisions_ == b.divisions_ && a.space_ == b.space_;
+  }
+
+ private:
+  int32_t AxisCell(uint8_t v) const {
+    // Uniform partition of [0, 256) into `divisions_` cells.
+    return static_cast<int32_t>(v) * divisions_ / 256;
+  }
+  /// Uniform partition of [0, 1] (upper end inclusive) into cells.
+  int32_t UnitCell(double v) const;
+
+  int32_t divisions_;
+  ColorSpace space_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_QUANTIZER_H_

@@ -1,0 +1,94 @@
+#ifndef MMDB_CORE_QUERY_H_
+#define MMDB_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/quantizer.h"
+#include "editops/edit_ops.h"
+
+namespace mmdb {
+
+/// A color range query: "retrieve all images whose fraction of pixels in
+/// histogram bin `bin` lies in [min_fraction, max_fraction]" — e.g. the
+/// paper's "Retrieve all images that are at least 25% blue" is
+/// `{BinOf(blue), 0.25, 1.0}`. Both endpoints are inclusive.
+struct RangeQuery {
+  BinIndex bin = 0;
+  double min_fraction = 0.0;
+  double max_fraction = 1.0;
+
+  /// True iff a fraction value satisfies the query.
+  bool Satisfies(double fraction) const {
+    return fraction >= min_fraction && fraction <= max_fraction;
+  }
+
+  std::string ToString() const {
+    return "RangeQuery(bin=" + std::to_string(bin) + ", [" +
+           std::to_string(min_fraction) + ", " +
+           std::to_string(max_fraction) + "])";
+  }
+};
+
+/// A conjunction of range predicates over distinct bins, e.g. "at least
+/// 25% blue AND at most 10% red". An image satisfies the query iff it
+/// satisfies every conjunct.
+struct ConjunctiveQuery {
+  std::vector<RangeQuery> conjuncts;
+
+  /// True iff the fractions (indexed by bin) satisfy every conjunct.
+  template <typename FractionFn>
+  bool Satisfies(FractionFn&& fraction_of_bin) const {
+    for (const RangeQuery& conjunct : conjuncts) {
+      if (!conjunct.Satisfies(fraction_of_bin(conjunct.bin))) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::string out = "Conjunctive(";
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (i) out += " AND ";
+      out += conjuncts[i].ToString();
+    }
+    return out + ")";
+  }
+};
+
+/// Work counters reported by the query processors; the performance
+/// evaluation reads these alongside wall-clock time to explain *why* BWM
+/// is faster (rules skipped, scripts never touched).
+struct QueryStats {
+  /// Binary images whose stored histogram was consulted.
+  int64_t binary_images_checked = 0;
+  /// Edited images for which the BOUNDS algorithm ran.
+  int64_t edited_images_bounded = 0;
+  /// Edited images accepted from a Main-component cluster without touching
+  /// their operations (BWM only).
+  int64_t edited_images_skipped = 0;
+  /// Individual operation rules applied across all BOUNDS runs.
+  int64_t rules_applied = 0;
+  /// Edited images instantiated (InstantiationMethod only).
+  int64_t images_instantiated = 0;
+
+  QueryStats& operator+=(const QueryStats& other) {
+    binary_images_checked += other.binary_images_checked;
+    edited_images_bounded += other.edited_images_bounded;
+    edited_images_skipped += other.edited_images_skipped;
+    rules_applied += other.rules_applied;
+    images_instantiated += other.images_instantiated;
+    return *this;
+  }
+};
+
+/// A query answer: matching object ids (binary and edited, in processor
+/// order) plus the work counters.
+struct QueryResult {
+  std::vector<ObjectId> ids;
+  QueryStats stats;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_QUERY_H_

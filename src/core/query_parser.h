@@ -1,0 +1,37 @@
+#ifndef MMDB_CORE_QUERY_PARSER_H_
+#define MMDB_CORE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "core/quantizer.h"
+#include "core/query.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Parses a human-readable color predicate expression into a
+/// `ConjunctiveQuery` — the textual form of the paper's example query
+/// "Retrieve all images that are at least 25% blue":
+///
+/// ```
+/// color('#0038a8') >= 0.25
+/// color(12) <= 0.1
+/// color('#cc0000') between 0.2 and 0.6
+/// color('#0038a8') >= 0.25 and color('#ffffff') <= 0.1
+/// ```
+///
+/// Grammar (case-insensitive keywords, whitespace-insensitive):
+///   query    := predicate ( "and" predicate )*
+///   predicate:= "color" "(" colorref ")" constraint
+///   colorref := "'#rrggbb'" | "#rrggbb" | bin-index
+///   constraint := ">=" number | "<=" number | "==" number
+///               | "between" number "and" number
+///
+/// Fractions may be written as decimals (0.25) or percentages (25%).
+/// Colors are resolved to bins with `quantizer`.
+Result<ConjunctiveQuery> ParseQuery(const std::string& text,
+                                    const ColorQuantizer& quantizer);
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_QUERY_PARSER_H_

@@ -1,0 +1,87 @@
+#include "core/rbm.h"
+
+#include "core/bounds.h"
+
+namespace mmdb {
+
+RbmQueryProcessor::RbmQueryProcessor(const AugmentedCollection* collection,
+                                     const RuleEngine* engine)
+    : collection_(collection),
+      engine_(engine),
+      resolver_(collection->MakeTargetResolver(*engine)) {}
+
+Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
+  QueryResult result;
+  // Binary images: the stored histogram answers the query exactly.
+  for (ObjectId id : collection_->binary_ids()) {
+    const BinaryImageInfo* binary = collection_->FindBinary(id);
+    ++result.stats.binary_images_checked;
+    if (query.Satisfies(binary->histogram.Fraction(query.bin))) {
+      result.ids.push_back(id);
+    }
+  }
+  // Edited images: apply the rule for every operation of every script.
+  for (ObjectId id : collection_->edited_ids()) {
+    const EditedImageInfo* edited = collection_->FindEdited(id);
+    const BinaryImageInfo* base =
+        collection_->FindBinary(edited->script.base_id);
+    if (base == nullptr) {
+      return Status::Corruption("edited image " + std::to_string(id) +
+                                " references missing base");
+    }
+    MMDB_ASSIGN_OR_RETURN(
+        FractionBounds bounds,
+        ComputeBounds(*engine_, edited->script, query.bin,
+                      base->histogram.Count(query.bin), base->width,
+                      base->height, resolver_));
+    ++result.stats.edited_images_bounded;
+    result.stats.rules_applied +=
+        static_cast<int64_t>(edited->script.ops.size());
+    if (bounds.Overlaps(query.min_fraction, query.max_fraction)) {
+      result.ids.push_back(id);
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> RbmQueryProcessor::RunConjunctive(
+    const ConjunctiveQuery& query) const {
+  QueryResult result;
+  for (ObjectId id : collection_->binary_ids()) {
+    const BinaryImageInfo* binary = collection_->FindBinary(id);
+    ++result.stats.binary_images_checked;
+    if (query.Satisfies([&](BinIndex bin) {
+          return binary->histogram.Fraction(bin);
+        })) {
+      result.ids.push_back(id);
+    }
+  }
+  for (ObjectId id : collection_->edited_ids()) {
+    const EditedImageInfo* edited = collection_->FindEdited(id);
+    const BinaryImageInfo* base =
+        collection_->FindBinary(edited->script.base_id);
+    if (base == nullptr) {
+      return Status::Corruption("edited image " + std::to_string(id) +
+                                " references missing base");
+    }
+    bool candidate = true;
+    for (const RangeQuery& conjunct : query.conjuncts) {
+      MMDB_ASSIGN_OR_RETURN(
+          FractionBounds bounds,
+          ComputeBounds(*engine_, edited->script, conjunct.bin,
+                        base->histogram.Count(conjunct.bin), base->width,
+                        base->height, resolver_));
+      result.stats.rules_applied +=
+          static_cast<int64_t>(edited->script.ops.size());
+      if (!bounds.Overlaps(conjunct.min_fraction, conjunct.max_fraction)) {
+        candidate = false;
+        break;
+      }
+    }
+    ++result.stats.edited_images_bounded;
+    if (candidate) result.ids.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,42 @@
+#ifndef MMDB_CORE_RBM_H_
+#define MMDB_CORE_RBM_H_
+
+#include "core/collection.h"
+#include "core/query.h"
+#include "core/rules.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// The Rule-Based Method (paper Section 3): answers a color range query
+/// over an augmented database by checking every binary image's stored
+/// histogram and, for every edited image, folding the Table 1 rules over
+/// *all* of its editing operations to bound the queried bin.
+///
+/// Guarantee: no false negatives — an edited image is excluded only when
+/// its computed fraction range provably cannot overlap the query range.
+/// False positives are possible (the bounds are conservative), which the
+/// paper accepts as the right trade-off for retrieval.
+class RbmQueryProcessor {
+ public:
+  /// Both referents must outlive the processor.
+  RbmQueryProcessor(const AugmentedCollection* collection,
+                    const RuleEngine* engine);
+
+  /// Runs `query` over the whole collection ("w/out data structure").
+  Result<QueryResult> RunRange(const RangeQuery& query) const;
+
+  /// Runs a conjunctive query: an edited image stays a candidate only if
+  /// its bounds overlap the range of *every* conjunct (one BOUNDS fold
+  /// per conjunct). Same no-false-negative guarantee as `RunRange`.
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query) const;
+
+ private:
+  const AugmentedCollection* collection_;
+  const RuleEngine* engine_;
+  TargetBoundsResolver resolver_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_RBM_H_

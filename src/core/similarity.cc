@@ -1,0 +1,169 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.h"
+
+namespace mmdb {
+
+SimilaritySearcher::SimilaritySearcher(const AugmentedCollection* collection,
+                                       const RuleEngine* engine)
+    : collection_(collection),
+      engine_(engine),
+      resolver_(collection->MakeTargetResolver(*engine)) {}
+
+Result<std::pair<std::vector<double>, std::vector<double>>>
+SimilaritySearcher::AllBinBounds(const EditedImageInfo& info) const {
+  const BinIndex bins = engine_->quantizer().BinCount();
+  const BinaryImageInfo* base = collection_->FindBinary(info.script.base_id);
+  if (base == nullptr) {
+    return Status::Corruption("edited image " + std::to_string(info.id) +
+                              " references missing base");
+  }
+  std::vector<double> lo(static_cast<size_t>(bins), 0.0);
+  std::vector<double> hi(static_cast<size_t>(bins), 1.0);
+  for (BinIndex bin = 0; bin < bins; ++bin) {
+    MMDB_ASSIGN_OR_RETURN(
+        FractionBounds bounds,
+        ComputeBounds(*engine_, info.script, bin, base->histogram.Count(bin),
+                      base->width, base->height, resolver_));
+    lo[static_cast<size_t>(bin)] = bounds.min_fraction;
+    hi[static_cast<size_t>(bin)] = bounds.max_fraction;
+  }
+  return std::make_pair(std::move(lo), std::move(hi));
+}
+
+SimilarityMatch SimilaritySearcher::DistanceInterval(
+    ObjectId id, const std::vector<double>& query_fractions,
+    const std::vector<double>& lo, const std::vector<double>& hi) {
+  SimilarityMatch match;
+  match.id = id;
+  for (size_t i = 0; i < query_fractions.size(); ++i) {
+    const double q = query_fractions[i];
+    // Per-bin |x - q| is minimized at the interval point closest to q and
+    // maximized at the farthest endpoint.
+    double bin_lo = 0.0;
+    if (q < lo[i]) {
+      bin_lo = lo[i] - q;
+    } else if (q > hi[i]) {
+      bin_lo = q - hi[i];
+    }
+    const double bin_hi = std::max(std::fabs(q - lo[i]), std::fabs(q - hi[i]));
+    match.distance_lo += bin_lo;
+    match.distance_hi += bin_hi;
+  }
+  // Both histograms are distributions, so the true L1 distance is at most
+  // 2 regardless of how loose the per-bin intervals are (the interval
+  // model ignores the sum-to-one constraint; this clamp restores it).
+  match.distance_hi = std::min(match.distance_hi, 2.0);
+  return match;
+}
+
+Result<std::vector<SimilarityMatch>> SimilaritySearcher::Knn(
+    const ColorHistogram& query, size_t k, QueryStats* stats) const {
+  const std::vector<double> query_fractions = query.Normalized();
+  std::vector<SimilarityMatch> all;
+  all.reserve(collection_->BinaryCount() + collection_->EditedCount());
+
+  for (ObjectId id : collection_->binary_ids()) {
+    const BinaryImageInfo* binary = collection_->FindBinary(id);
+    SimilarityMatch match;
+    match.id = id;
+    match.distance_lo = match.distance_hi =
+        L1Distance(query, binary->histogram);
+    match.exact = true;
+    all.push_back(match);
+    if (stats != nullptr) ++stats->binary_images_checked;
+  }
+  for (ObjectId id : collection_->edited_ids()) {
+    const EditedImageInfo* edited = collection_->FindEdited(id);
+    MMDB_ASSIGN_OR_RETURN(auto bounds, AllBinBounds(*edited));
+    all.push_back(
+        DistanceInterval(id, query_fractions, bounds.first, bounds.second));
+    if (stats != nullptr) {
+      ++stats->edited_images_bounded;
+      stats->rules_applied +=
+          static_cast<int64_t>(edited->script.ops.size()) *
+          engine_->quantizer().BinCount();
+    }
+  }
+
+  // The k-th best *guaranteed* (upper-bound) distance caps the candidate
+  // set: anything whose optimistic distance exceeds it cannot be in the
+  // true top k.
+  std::vector<double> guaranteed;
+  guaranteed.reserve(all.size());
+  for (const SimilarityMatch& match : all) {
+    guaranteed.push_back(match.distance_hi);
+  }
+  std::sort(guaranteed.begin(), guaranteed.end());
+  const double cutoff = k == 0 ? -1.0
+                        : k <= guaranteed.size()
+                            ? guaranteed[k - 1]
+                            : std::numeric_limits<double>::infinity();
+
+  std::vector<SimilarityMatch> out;
+  for (const SimilarityMatch& match : all) {
+    if (match.distance_lo <= cutoff) out.push_back(match);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SimilarityMatch& a, const SimilarityMatch& b) {
+              if (a.distance_lo != b.distance_lo) {
+                return a.distance_lo < b.distance_lo;
+              }
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Result<SimilaritySearcher::RangeAnswer> SimilaritySearcher::WithinDistance(
+    const ColorHistogram& query, double radius, QueryStats* stats) const {
+  if (radius < 0.0) {
+    return Status::InvalidArgument("similarity radius must be >= 0");
+  }
+  const std::vector<double> query_fractions = query.Normalized();
+  RangeAnswer answer;
+
+  auto classify = [&](const SimilarityMatch& match) {
+    if (match.distance_hi <= radius) {
+      answer.certain.push_back(match);
+    } else if (match.distance_lo <= radius) {
+      answer.candidates.push_back(match);
+    }
+  };
+
+  for (ObjectId id : collection_->binary_ids()) {
+    const BinaryImageInfo* binary = collection_->FindBinary(id);
+    SimilarityMatch match;
+    match.id = id;
+    match.distance_lo = match.distance_hi =
+        L1Distance(query, binary->histogram);
+    match.exact = true;
+    classify(match);
+    if (stats != nullptr) ++stats->binary_images_checked;
+  }
+  for (ObjectId id : collection_->edited_ids()) {
+    const EditedImageInfo* edited = collection_->FindEdited(id);
+    MMDB_ASSIGN_OR_RETURN(auto bounds, AllBinBounds(*edited));
+    classify(
+        DistanceInterval(id, query_fractions, bounds.first, bounds.second));
+    if (stats != nullptr) {
+      ++stats->edited_images_bounded;
+      stats->rules_applied +=
+          static_cast<int64_t>(edited->script.ops.size()) *
+          engine_->quantizer().BinCount();
+    }
+  }
+  auto by_distance = [](const SimilarityMatch& a, const SimilarityMatch& b) {
+    if (a.distance_lo != b.distance_lo) {
+      return a.distance_lo < b.distance_lo;
+    }
+    return a.id < b.id;
+  };
+  std::sort(answer.certain.begin(), answer.certain.end(), by_distance);
+  std::sort(answer.candidates.begin(), answer.candidates.end(), by_distance);
+  return answer;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,84 @@
+#ifndef MMDB_CORE_SIMILARITY_H_
+#define MMDB_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/collection.h"
+#include "core/histogram.h"
+#include "core/query.h"
+#include "core/rules.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// One similarity-search answer. For binary images the L1 distance to the
+/// query is exact (`lo == hi`); for edited images it is an interval
+/// derived from the per-bin rule bounds without instantiation.
+struct SimilarityMatch {
+  ObjectId id = kInvalidObjectId;
+  double distance_lo = 0.0;
+  double distance_hi = 0.0;
+  bool exact = false;
+
+  /// Conservative sort key (optimistic distance).
+  double Optimistic() const { return distance_lo; }
+};
+
+/// Similarity (nearest-neighbor) search over an augmented database — the
+/// extension the paper lists as future work (Section 6).
+///
+/// Binary images are ranked by exact L1 histogram distance. For edited
+/// images the searcher folds the Table 1 rules once per histogram bin to
+/// get per-bin fraction intervals, then derives a provable interval
+/// [distance_lo, distance_hi] on the L1 distance. The k-NN result is the
+/// candidate set that provably contains the true k nearest images:
+/// every image whose optimistic distance does not exceed the k-th best
+/// guaranteed distance.
+class SimilaritySearcher {
+ public:
+  /// Referents must outlive the searcher.
+  SimilaritySearcher(const AugmentedCollection* collection,
+                     const RuleEngine* engine);
+
+  /// Per-bin fraction intervals for an edited image (one BOUNDS fold per
+  /// bin).
+  Result<std::pair<std::vector<double>, std::vector<double>>> AllBinBounds(
+      const EditedImageInfo& info) const;
+
+  /// Interval on the L1 distance between `query` (normalized fractions)
+  /// and an edited image with per-bin fraction bounds [lo, hi].
+  static SimilarityMatch DistanceInterval(
+      ObjectId id, const std::vector<double>& query_fractions,
+      const std::vector<double>& lo, const std::vector<double>& hi);
+
+  /// k-NN candidate search (see class comment). Results are sorted by
+  /// optimistic distance; `stats` counts the rule work performed.
+  Result<std::vector<SimilarityMatch>> Knn(const ColorHistogram& query,
+                                           size_t k,
+                                           QueryStats* stats = nullptr) const;
+
+  /// Answer of a similarity range query ("everything within L1 distance
+  /// `radius` of the query"). `certain` images provably qualify
+  /// (distance upper bound <= radius); `candidates` may qualify (lower
+  /// bound <= radius < upper bound) and would need instantiation to
+  /// settle. Together they contain every true match — the same
+  /// no-false-negative contract as the color range queries.
+  struct RangeAnswer {
+    std::vector<SimilarityMatch> certain;
+    std::vector<SimilarityMatch> candidates;
+  };
+
+  /// Runs a similarity range query without instantiating anything.
+  Result<RangeAnswer> WithinDistance(const ColorHistogram& query,
+                                     double radius,
+                                     QueryStats* stats = nullptr) const;
+
+ private:
+  const AugmentedCollection* collection_;
+  const RuleEngine* engine_;
+  TargetBoundsResolver resolver_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_SIMILARITY_H_

@@ -1,0 +1,315 @@
+#include "datasets/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmdb {
+namespace datasets {
+
+namespace {
+
+/// Symbolic canvas tracker mirroring the editor's dimension/DR semantics,
+/// so generated coordinates are always valid without touching pixels.
+struct CanvasTracker {
+  int32_t width;
+  int32_t height;
+  Rect dr;
+
+  Rect Bounds() const { return Rect::Full(width, height); }
+};
+
+DefineOp RandomDefine(CanvasTracker& canvas, Rng& rng) {
+  // A non-empty sub-rectangle, biased toward mid-sized regions.
+  const int32_t w = static_cast<int32_t>(
+      rng.UniformInt(std::max(1, canvas.width / 8), canvas.width));
+  const int32_t h = static_cast<int32_t>(
+      rng.UniformInt(std::max(1, canvas.height / 8), canvas.height));
+  const int32_t x = static_cast<int32_t>(rng.UniformInt(0, canvas.width - w));
+  const int32_t y =
+      static_cast<int32_t>(rng.UniformInt(0, canvas.height - h));
+  DefineOp op{Rect(x, y, x + w, y + h)};
+  canvas.dr = op.region.Intersect(canvas.Bounds());
+  return op;
+}
+
+ModifyOp RandomModify(const std::vector<Rgb>& palette, Rng& rng) {
+  ModifyOp op;
+  op.old_color = palette[rng.Uniform(palette.size())];
+  do {
+    op.new_color = palette[rng.Uniform(palette.size())];
+  } while (op.new_color == op.old_color && palette.size() > 1);
+  return op;
+}
+
+MutateOp RandomWideningMutate(const CanvasTracker& canvas, Rng& rng) {
+  if (rng.Bernoulli(0.5)) {  // Small translation of the DR.
+    const double dx = static_cast<double>(
+        rng.UniformInt(-canvas.width / 4, canvas.width / 4));
+    const double dy = static_cast<double>(
+        rng.UniformInt(-canvas.height / 4, canvas.height / 4));
+    return MutateOp::Translation(dx, dy);
+  }
+  // Rotation about the DR center (rigid body).
+  static constexpr double kAngles[] = {0.5235987755982988,   // 30 deg
+                                       1.5707963267948966,   // 90 deg
+                                       3.141592653589793};   // 180 deg
+  const double angle = kAngles[rng.Uniform(3)];
+  const double cx = (canvas.dr.x0 + canvas.dr.x1) / 2.0;
+  const double cy = (canvas.dr.y0 + canvas.dr.y1) / 2.0;
+  return MutateOp::Rotation(angle, cx, cy);
+}
+
+}  // namespace
+
+EditScript MakeRandomScript(ObjectId base_id, int32_t width, int32_t height,
+                            bool all_widening, int op_count,
+                            const std::vector<Rgb>& palette,
+                            const std::vector<MergeTarget>& merge_targets,
+                            Rng& rng) {
+  EditScript script;
+  script.base_id = base_id;
+  CanvasTracker canvas{width, height, Rect::Full(width, height)};
+
+  // For non-widening scripts, reserve one slot for the Merge-into-target.
+  const int merge_slot =
+      all_widening || merge_targets.empty()
+          ? -1
+          : static_cast<int>(rng.Uniform(static_cast<uint64_t>(
+                std::max(1, op_count))));
+
+  for (int i = 0; i < op_count; ++i) {
+    if (i == merge_slot) {
+      const MergeTarget& target =
+          merge_targets[rng.Uniform(merge_targets.size())];
+      MergeOp op;
+      op.target = target.id;
+      // Paste somewhere that overlaps the target.
+      op.x = static_cast<int32_t>(
+          rng.UniformInt(-canvas.dr.Width() / 2, target.width - 1));
+      op.y = static_cast<int32_t>(
+          rng.UniformInt(-canvas.dr.Height() / 2, target.height - 1));
+      script.ops.emplace_back(op);
+      canvas = CanvasTracker{target.width, target.height,
+                             Rect::Full(target.width, target.height)};
+      continue;
+    }
+    switch (rng.Uniform(6)) {
+      case 0:
+        script.ops.emplace_back(RandomDefine(canvas, rng));
+        break;
+      case 1:
+        script.ops.emplace_back(RandomModify(palette, rng));
+        break;
+      case 2:
+        script.ops.emplace_back(rng.Bernoulli(0.5)
+                                    ? CombineOp::BoxBlur()
+                                    : CombineOp::GaussianBlur());
+        break;
+      case 3: {  // Rigid-body or whole-image-scale Mutate.
+        // The scale branch emits two ops; never let it jump the slot
+        // reserved for the Merge-into-target.
+        if (rng.Bernoulli(0.25) && canvas.width <= 256 &&
+            canvas.height <= 256 && i + 1 != merge_slot &&
+            i + 1 < op_count) {
+          // Whole-image scale: needs the DR to cover the canvas.
+          script.ops.emplace_back(DefineOp{canvas.Bounds()});
+          canvas.dr = canvas.Bounds();
+          const bool up = rng.Bernoulli(0.5);
+          const double s = up ? 2.0 : 0.5;
+          script.ops.emplace_back(MutateOp::Scale(s, s));
+          canvas.width = static_cast<int32_t>(std::lround(canvas.width * s));
+          canvas.height =
+              static_cast<int32_t>(std::lround(canvas.height * s));
+          canvas.dr = canvas.Bounds();
+          ++i;  // The Define consumed a slot too.
+        } else {
+          script.ops.emplace_back(RandomWideningMutate(canvas, rng));
+        }
+        break;
+      }
+      case 4: {  // Merge(NULL): crop the DR out (always non-empty).
+        if (canvas.dr.Empty()) {
+          script.ops.emplace_back(DefineOp{canvas.Bounds()});
+          canvas.dr = canvas.Bounds();
+          break;
+        }
+        script.ops.emplace_back(MergeOp{});  // Null target.
+        canvas = CanvasTracker{canvas.dr.Width(), canvas.dr.Height(),
+                               Rect::Full(canvas.dr.Width(),
+                                          canvas.dr.Height())};
+        break;
+      }
+      default:
+        script.ops.emplace_back(RandomModify(palette, rng));
+        break;
+    }
+  }
+  // Pad in case the scale branch overshot the loop counter.
+  while (static_cast<int>(script.ops.size()) < op_count) {
+    script.ops.emplace_back(RandomModify(palette, rng));
+  }
+  return script;
+}
+
+std::vector<Rgb> PaletteFor(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kFlags:
+      return FlagPalette();
+    case DatasetKind::kHelmets:
+      return HelmetPalette();
+    case DatasetKind::kRoadSigns:
+      return RoadSignPalette();
+  }
+  return FlagPalette();
+}
+
+Result<DatasetStats> BuildAugmentedDatabase(MultimediaDatabase* db,
+                                            const DatasetSpec& spec) {
+  if (spec.total_images <= 0) {
+    return Status::InvalidArgument("total_images must be positive");
+  }
+  if (spec.edited_fraction < 0.0 || spec.edited_fraction >= 1.0) {
+    return Status::InvalidArgument("edited_fraction must be in [0, 1)");
+  }
+  if (spec.base_fraction <= 0.0 || spec.base_fraction > 1.0) {
+    return Status::InvalidArgument("base_fraction must be in (0, 1]");
+  }
+  Rng rng(spec.seed);
+  const int base_count = std::max(
+      1, static_cast<int>(std::lround(spec.total_images *
+                                      spec.base_fraction)));
+  const int variant_count = spec.total_images - base_count;
+  // Storage policy: this many variants are stored as edit sequences, the
+  // rest are materialized and stored conventionally.
+  const int script_count =
+      std::min(variant_count,
+               static_cast<int>(std::lround(spec.total_images *
+                                            spec.edited_fraction)));
+
+  std::vector<GeneratedImage> images;
+  switch (spec.kind) {
+    case DatasetKind::kFlags:
+      images = MakeFlagImages(base_count, rng);
+      break;
+    case DatasetKind::kHelmets:
+      images = MakeHelmetImages(base_count, rng);
+      break;
+    case DatasetKind::kRoadSigns:
+      images = MakeRoadSignImages(base_count, rng);
+      break;
+  }
+
+  DatasetStats stats;
+  std::vector<MergeTarget> targets;
+  std::vector<std::pair<int32_t, int32_t>> dims;
+  for (const GeneratedImage& generated : images) {
+    MMDB_ASSIGN_OR_RETURN(ObjectId id,
+                          db->InsertBinaryImage(generated.image));
+    stats.binary_ids.push_back(id);
+    stats.base_ids.push_back(id);
+    targets.push_back(
+        {id, generated.image.width(), generated.image.height()});
+    dims.emplace_back(generated.image.width(), generated.image.height());
+  }
+
+  const std::vector<Rgb> palette = PaletteFor(spec.kind);
+  const ImageResolver pixels = db->MakePixelResolver();
+  const Editor editor(pixels);
+  for (int i = 0; i < variant_count; ++i) {
+    const size_t base_pos = rng.Uniform(stats.base_ids.size());
+    const bool widening = rng.Bernoulli(spec.widening_probability);
+    const int op_count =
+        static_cast<int>(rng.UniformInt(spec.min_ops, spec.max_ops));
+    const EditScript script = MakeRandomScript(
+        stats.base_ids[base_pos], dims[base_pos].first,
+        dims[base_pos].second, widening, op_count, palette, targets, rng);
+    if (i < script_count) {
+      // Stored as a sequence of editing operations.
+      MMDB_ASSIGN_OR_RETURN(ObjectId id, db->InsertEditedImage(script));
+      stats.edited_ids.push_back(id);
+      stats.total_ops += static_cast<int64_t>(script.ops.size());
+      if (RuleEngine::IsAllBoundWidening(script)) {
+        ++stats.widening_only;
+      } else {
+        ++stats.non_widening;
+      }
+    } else {
+      // Materialized: instantiated once and stored conventionally, with
+      // its histogram extracted like any binary image.
+      MMDB_ASSIGN_OR_RETURN(Image base_image,
+                            pixels(stats.base_ids[base_pos]));
+      MMDB_ASSIGN_OR_RETURN(Image variant,
+                            editor.Instantiate(base_image, script));
+      MMDB_ASSIGN_OR_RETURN(ObjectId id, db->InsertBinaryImage(variant));
+      stats.binary_ids.push_back(id);
+      stats.materialized_ids.push_back(id);
+    }
+  }
+  return stats;
+}
+
+std::vector<RangeQuery> MakeRangeWorkload(const ColorQuantizer& quantizer,
+                                          const std::vector<Rgb>& palette,
+                                          int count, Rng& rng) {
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    RangeQuery query;
+    query.bin = quantizer.BinOf(palette[rng.Uniform(palette.size())]);
+    // "At least X%"-style windows: a lower bound in [0%, 35%] with a
+    // width in [30%, 65%] — wide enough that stored originals satisfy a
+    // healthy share of queries, which is the regime the paper's
+    // evaluation exercises (BWM's cluster skip fires on base hits).
+    query.min_fraction = rng.UniformDouble(0.0, 0.3);
+    query.max_fraction =
+        std::min(1.0, query.min_fraction + rng.UniformDouble(0.4, 0.85));
+    out.push_back(query);
+  }
+  return out;
+}
+
+std::vector<RangeQuery> MakeGroundedRangeWorkload(
+    const AugmentedCollection& collection, const ColorQuantizer& quantizer,
+    const std::vector<Rgb>& palette, int count, Rng& rng) {
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  const std::vector<ObjectId>& binaries = collection.binary_ids();
+  for (int i = 0; i < count; ++i) {
+    if (binaries.empty() || rng.Bernoulli(0.3)) {
+      // Uniform palette window (often misses everything).
+      RangeQuery query;
+      query.bin = quantizer.BinOf(palette[rng.Uniform(palette.size())]);
+      query.min_fraction = rng.UniformDouble(0.0, 0.3);
+      query.max_fraction =
+          std::min(1.0, query.min_fraction + rng.UniformDouble(0.4, 0.85));
+      out.push_back(query);
+      continue;
+    }
+    // Grounded: window around a fraction observed in a stored image.
+    const BinaryImageInfo* example =
+        collection.FindBinary(binaries[rng.Uniform(binaries.size())]);
+    // Pick one of the image's substantial bins.
+    std::vector<BinIndex> heavy;
+    for (BinIndex bin = 0; bin < quantizer.BinCount(); ++bin) {
+      if (example->histogram.Fraction(bin) >= 0.1) heavy.push_back(bin);
+    }
+    RangeQuery query;
+    if (heavy.empty()) {
+      query.bin = quantizer.BinOf(palette[rng.Uniform(palette.size())]);
+      query.min_fraction = 0.0;
+      query.max_fraction = rng.UniformDouble(0.4, 1.0);
+    } else {
+      query.bin = heavy[rng.Uniform(heavy.size())];
+      const double f = example->histogram.Fraction(query.bin);
+      query.min_fraction =
+          std::max(0.0, f - rng.UniformDouble(0.05, 0.35));
+      query.max_fraction =
+          std::min(1.0, f + rng.UniformDouble(0.05, 0.35));
+    }
+    out.push_back(query);
+  }
+  return out;
+}
+
+}  // namespace datasets
+}  // namespace mmdb

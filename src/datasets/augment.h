@@ -1,0 +1,116 @@
+#ifndef MMDB_DATASETS_AUGMENT_H_
+#define MMDB_DATASETS_AUGMENT_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "datasets/generators.h"
+#include "editops/edit_ops.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace mmdb {
+namespace datasets {
+
+/// Dimensions of a stored image a random script may Merge into.
+struct MergeTarget {
+  ObjectId id = kInvalidObjectId;
+  int32_t width = 0;
+  int32_t height = 0;
+};
+
+/// Generates a random but always-valid edit script of `op_count`
+/// operations over a `width` x `height` base image.
+///
+/// When `all_widening` is true the script draws only from operations
+/// whose rules are bound-widening (Define / Combine / Modify / Mutate /
+/// Merge-NULL); otherwise at least one Merge into a real target is
+/// included, which is exactly what lands the image in BWM's Unclassified
+/// Component. `palette` supplies Modify's color pairs; `merge_targets`
+/// must be non-empty when `all_widening` is false.
+EditScript MakeRandomScript(ObjectId base_id, int32_t width, int32_t height,
+                            bool all_widening, int op_count,
+                            const std::vector<Rgb>& palette,
+                            const std::vector<MergeTarget>& merge_targets,
+                            Rng& rng);
+
+/// Which synthetic dataset to build.
+enum class DatasetKind { kFlags, kHelmets, kRoadSigns };
+
+/// Shape of an augmented database, mirroring the paper's Table 2
+/// parameters and its Figures 3/4 experimental design.
+///
+/// The logical dataset is fixed: `base_fraction * total_images` original
+/// images plus derived variants filling the rest. `edited_fraction` is
+/// the figures' x-axis — the percentage of images *stored as sequences
+/// of editing operations*; the remaining variants are materialized at
+/// build time and stored conventionally (with extracted histograms),
+/// exactly like the storage decision the paper sweeps.
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kFlags;
+  int total_images = 400;
+  /// Fraction of images stored as edit sequences (clamped so originals
+  /// stay conventional).
+  double edited_fraction = 0.8;
+  /// Fraction of images that are original (non-derived) base images.
+  double base_fraction = 0.1;
+  int min_ops = 3;
+  int max_ops = 9;
+  /// Probability an edited image uses only bound-widening operations.
+  double widening_probability = 0.8;
+  uint64_t seed = 42;
+};
+
+/// What was actually built (the measured Table 2 row).
+struct DatasetStats {
+  /// Everything stored conventionally: originals + materialized variants.
+  std::vector<ObjectId> binary_ids;
+  /// Original (non-derived) images; a prefix view of `binary_ids`.
+  std::vector<ObjectId> base_ids;
+  /// Variants materialized to rasters at build time.
+  std::vector<ObjectId> materialized_ids;
+  /// Variants stored as edit sequences.
+  std::vector<ObjectId> edited_ids;
+  int64_t total_ops = 0;
+  int widening_only = 0;
+  int non_widening = 0;
+
+  double AvgOpsPerEdited() const {
+    return edited_ids.empty()
+               ? 0.0
+               : static_cast<double>(total_ops) /
+                     static_cast<double>(edited_ids.size());
+  }
+};
+
+/// Populates `db` (which must be empty) with a `spec`-shaped augmented
+/// dataset: original images from the chosen generator, plus derived
+/// variants — each stored either as a random edit script or (per the
+/// storage-policy fraction) materialized and stored conventionally.
+Result<DatasetStats> BuildAugmentedDatabase(MultimediaDatabase* db,
+                                            const DatasetSpec& spec);
+
+/// The palette the given dataset kind draws from.
+std::vector<Rgb> PaletteFor(DatasetKind kind);
+
+/// A workload of color range queries ("at least X% <palette color>")
+/// targeting the bins the dataset actually populates.
+std::vector<RangeQuery> MakeRangeWorkload(const ColorQuantizer& quantizer,
+                                          const std::vector<Rgb>& palette,
+                                          int count, Rng& rng);
+
+/// A workload grounded in the stored images, the way CBIR queries arise
+/// in practice: most queries are derived from a stored image's actual
+/// color distribution ("find things that are about this red", with a
+/// window around the observed fraction), the rest are uniform palette
+/// windows. Grounded queries give the realistic base-image hit rates the
+/// paper's evaluation exercises.
+std::vector<RangeQuery> MakeGroundedRangeWorkload(
+    const AugmentedCollection& collection, const ColorQuantizer& quantizer,
+    const std::vector<Rgb>& palette, int count, Rng& rng);
+
+}  // namespace datasets
+}  // namespace mmdb
+
+#endif  // MMDB_DATASETS_AUGMENT_H_

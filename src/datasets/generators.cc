@@ -1,0 +1,230 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+
+#include "image/draw.h"
+
+namespace mmdb {
+namespace datasets {
+
+namespace {
+
+/// Picks `n` distinct colors from `palette`.
+std::vector<Rgb> PickDistinct(const std::vector<Rgb>& palette, size_t n,
+                              Rng& rng) {
+  std::vector<Rgb> pool = palette;
+  std::vector<Rgb> out;
+  for (size_t i = 0; i < n && !pool.empty(); ++i) {
+    const size_t pick = static_cast<size_t>(rng.Uniform(pool.size()));
+    out.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Rgb> FlagPalette() {
+  return {colors::kRed,    colors::kWhite, colors::kBlue,  colors::kGreen,
+          colors::kYellow, colors::kBlack, colors::kOrange};
+}
+
+std::vector<Rgb> HelmetPalette() {
+  return {colors::kMaroon, colors::kNavy,   colors::kGold,  colors::kSilver,
+          colors::kOrange, colors::kPurple, colors::kWhite, colors::kBlack,
+          colors::kRed,    colors::kGreen};
+}
+
+std::vector<Rgb> RoadSignPalette() {
+  return {colors::kRed,  colors::kWhite, colors::kYellow,
+          colors::kBlue, colors::kGreen, colors::kBlack};
+}
+
+std::vector<GeneratedImage> MakeFlagImages(int count, Rng& rng,
+                                           int32_t width, int32_t height) {
+  const std::vector<Rgb> palette = FlagPalette();
+  std::vector<GeneratedImage> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Image flag(width, height);
+    const Rect full = flag.Bounds();
+    switch (rng.Uniform(5)) {
+      case 0: {  // Horizontal tricolor (France-rotated, Germany, ...).
+        const std::vector<Rgb> c = PickDistinct(palette, 3, rng);
+        draw::HorizontalStripes(flag, full, c);
+        out.push_back({std::move(flag), "flag:h-tricolor"});
+        break;
+      }
+      case 1: {  // Vertical tricolor (France, Italy, ...).
+        const std::vector<Rgb> c = PickDistinct(palette, 3, rng);
+        draw::VerticalStripes(flag, full, c);
+        out.push_back({std::move(flag), "flag:v-tricolor"});
+        break;
+      }
+      case 2: {  // Bicolor with canton (US-like).
+        const std::vector<Rgb> c = PickDistinct(palette, 3, rng);
+        draw::HorizontalStripes(flag, full, {c[0], c[1], c[0], c[1], c[0]});
+        flag.Fill(Rect(0, 0, width * 2 / 5, height * 2 / 5), c[2]);
+        out.push_back({std::move(flag), "flag:canton"});
+        break;
+      }
+      case 3: {  // Nordic cross.
+        const std::vector<Rgb> c = PickDistinct(palette, 2, rng);
+        flag.Fill(c[0]);
+        draw::Cross(flag, full, width * 2 / 5, height / 2,
+                    std::max(4, height / 6), c[1]);
+        out.push_back({std::move(flag), "flag:nordic-cross"});
+        break;
+      }
+      default: {  // Disc on field (Japan, Bangladesh, ...).
+        const std::vector<Rgb> c = PickDistinct(palette, 2, rng);
+        flag.Fill(c[0]);
+        draw::FilledCircle(flag, width / 2, height / 2, height / 3, c[1]);
+        out.push_back({std::move(flag), "flag:disc"});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GeneratedImage> MakeWorldFlags(int32_t width, int32_t height) {
+  using draw::Cross;
+  using draw::FilledCircle;
+  using draw::HorizontalStripes;
+  using draw::VerticalStripes;
+  std::vector<GeneratedImage> out;
+  auto add = [&](const std::string& name, auto&& paint) {
+    Image flag(width, height);
+    paint(flag);
+    out.push_back({std::move(flag), "flag:" + name});
+  };
+  const Rect full = Rect::Full(width, height);
+
+  add("france", [&](Image& f) {
+    VerticalStripes(f, full, {colors::kBlue, colors::kWhite, colors::kRed});
+  });
+  add("italy", [&](Image& f) {
+    VerticalStripes(f, full, {colors::kGreen, colors::kWhite, colors::kRed});
+  });
+  add("germany", [&](Image& f) {
+    HorizontalStripes(f, full,
+                      {colors::kBlack, colors::kRed, colors::kGold});
+  });
+  add("netherlands", [&](Image& f) {
+    HorizontalStripes(f, full, {colors::kRed, colors::kWhite, colors::kBlue});
+  });
+  add("japan", [&](Image& f) {
+    f.Fill(colors::kWhite);
+    FilledCircle(f, width / 2, height / 2, height * 3 / 10, colors::kRed);
+  });
+  add("sweden", [&](Image& f) {
+    f.Fill(colors::kBlue);
+    Cross(f, full, width * 2 / 5, height / 2, height / 5, colors::kYellow);
+  });
+  add("denmark", [&](Image& f) {
+    f.Fill(colors::kRed);
+    Cross(f, full, width * 2 / 5, height / 2, height / 6, colors::kWhite);
+  });
+  add("ireland", [&](Image& f) {
+    VerticalStripes(f, full,
+                    {colors::kGreen, colors::kWhite, colors::kOrange});
+  });
+  add("ukraine", [&](Image& f) {
+    HorizontalStripes(f, full, {colors::kBlue, colors::kYellow});
+  });
+  add("poland", [&](Image& f) {
+    HorizontalStripes(f, full, {colors::kWhite, colors::kRed});
+  });
+  add("nigeria", [&](Image& f) {
+    VerticalStripes(f, full,
+                    {colors::kGreen, colors::kWhite, colors::kGreen});
+  });
+  add("usa", [&](Image& f) {
+    HorizontalStripes(f, full,
+                      {colors::kRed, colors::kWhite, colors::kRed,
+                       colors::kWhite, colors::kRed, colors::kWhite,
+                       colors::kRed});
+    f.Fill(Rect(0, 0, width * 2 / 5, height * 4 / 7), colors::kNavy);
+  });
+  return out;
+}
+
+std::vector<GeneratedImage> MakeHelmetImages(int count, Rng& rng,
+                                             int32_t side) {
+  const std::vector<Rgb> palette = HelmetPalette();
+  std::vector<GeneratedImage> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Shell, logo, facemask, stripe colors (all distinct).
+    const std::vector<Rgb> c = PickDistinct(palette, 4, rng);
+    Image helmet(side, side, colors::kWhite);  // Studio background.
+    // Shell: large ellipse occupying most of the frame.
+    draw::FilledEllipse(
+        helmet, Rect(side / 10, side / 8, side * 9 / 10, side * 7 / 8), c[0]);
+    // Center stripe.
+    if (rng.Bernoulli(0.7)) {
+      helmet.Fill(Rect(side * 9 / 20, side / 8, side * 11 / 20, side / 2),
+                  c[3]);
+    }
+    // Facemask: bars at the lower right.
+    const int32_t bar = std::max(2, side / 24);
+    for (int b = 0; b < 3; ++b) {
+      const int32_t y = side * 5 / 8 + b * 3 * bar / 2;
+      draw::ThickLine(helmet, side / 2, y, side * 19 / 20, y, bar, c[2]);
+    }
+    // Team logo: disc on the shell side.
+    draw::FilledCircle(helmet, side * 2 / 5, side / 2, side / 7, c[1]);
+    out.push_back({std::move(helmet), "helmet"});
+  }
+  return out;
+}
+
+std::vector<GeneratedImage> MakeRoadSignImages(int count, Rng& rng,
+                                               int32_t side) {
+  std::vector<GeneratedImage> out;
+  out.reserve(static_cast<size_t>(count));
+  const Rgb backdrops[] = {colors::kSkyBlue, colors::kGrassGreen,
+                           colors::kSilver, colors::kNavy};
+  for (int i = 0; i < count; ++i) {
+    Image sign(side, side,
+               backdrops[rng.Uniform(std::size(backdrops))]);
+    const Rect box(side / 6, side / 6, side * 5 / 6, side * 5 / 6);
+    const Rect inner(side / 4, side / 4, side * 3 / 4, side * 3 / 4);
+    switch (rng.Uniform(5)) {
+      case 0:  // Stop sign: red octagon, white legend band.
+        draw::FilledOctagon(sign, box, colors::kRed);
+        sign.Fill(Rect(side / 4, side * 7 / 16, side * 3 / 4, side * 9 / 16),
+                  colors::kWhite);
+        out.push_back({std::move(sign), "sign:stop"});
+        break;
+      case 1:  // Yield: white triangle with red border effect.
+        draw::FilledTriangle(sign, box, /*point_up=*/false, colors::kRed);
+        draw::FilledTriangle(sign, inner, /*point_up=*/false, colors::kWhite);
+        out.push_back({std::move(sign), "sign:yield"});
+        break;
+      case 2:  // Warning: yellow diamond with black glyph.
+        draw::FilledDiamond(sign, box, colors::kYellow);
+        sign.Fill(Rect(side * 7 / 16, side / 3, side * 9 / 16, side * 2 / 3),
+                  colors::kBlack);
+        out.push_back({std::move(sign), "sign:warning"});
+        break;
+      case 3:  // Speed limit: white disc with red ring.
+        draw::FilledCircle(sign, side / 2, side / 2, side / 3, colors::kRed);
+        draw::FilledCircle(sign, side / 2, side / 2, side / 4,
+                           colors::kWhite);
+        out.push_back({std::move(sign), "sign:speed-limit"});
+        break;
+      default:  // Information: blue rectangle with white glyph.
+        sign.Fill(box, colors::kBlue);
+        sign.Fill(Rect(side * 7 / 16, side / 3, side * 9 / 16, side * 2 / 3),
+                  colors::kWhite);
+        out.push_back({std::move(sign), "sign:info"});
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace datasets
+}  // namespace mmdb

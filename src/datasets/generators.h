@@ -1,0 +1,62 @@
+#ifndef MMDB_DATASETS_GENERATORS_H_
+#define MMDB_DATASETS_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "util/random.h"
+
+namespace mmdb {
+
+/// A generated dataset image with a human-readable label (used by the
+/// examples and by EXPERIMENTS.md narratives).
+struct GeneratedImage {
+  Image image;
+  std::string label;
+};
+
+/// Synthetic stand-ins for the paper's two web-scraped datasets and for
+/// the road-sign application motivating its introduction. All generators
+/// are deterministic in the supplied RNG, so every experiment is
+/// reproducible from its seed.
+///
+/// The statistical property the experiments depend on — a handful of
+/// saturated colors covering large uniform regions, so color histograms
+/// discriminate well — matches the real flag/helmet/sign imagery.
+namespace datasets {
+
+/// World-flag-like images (horizontal/vertical tricolors and bicolors,
+/// Nordic crosses, cantons); default 120x80 (3:2-ish).
+std::vector<GeneratedImage> MakeFlagImages(int count, Rng& rng,
+                                           int32_t width = 120,
+                                           int32_t height = 80);
+
+/// A fixed set of recognizable real-world flag renderings (France,
+/// Italy, Germany, Japan, Sweden, ...), each labeled with its country.
+/// Deterministic — no RNG — so examples and docs can name what they
+/// retrieve, the way the paper's flag dataset could.
+std::vector<GeneratedImage> MakeWorldFlags(int32_t width = 120,
+                                           int32_t height = 80);
+
+/// College-football-helmet-like images (shell ellipse, facemask, center
+/// stripe, circular logo over a neutral background); default 96x96.
+std::vector<GeneratedImage> MakeHelmetImages(int count, Rng& rng,
+                                             int32_t side = 96);
+
+/// Road-sign images (stop octagon, yield triangle, warning diamond,
+/// speed-limit disc, info rectangle) over sky/grass/asphalt backdrops —
+/// the autonomous-driving application from the paper's introduction.
+std::vector<GeneratedImage> MakeRoadSignImages(int count, Rng& rng,
+                                               int32_t side = 96);
+
+/// The saturated palette colors a dataset's designs draw from; range
+/// queries in the benchmarks target the histogram bins of these colors.
+std::vector<Rgb> FlagPalette();
+std::vector<Rgb> HelmetPalette();
+std::vector<Rgb> RoadSignPalette();
+
+}  // namespace datasets
+}  // namespace mmdb
+
+#endif  // MMDB_DATASETS_GENERATORS_H_

@@ -1,0 +1,67 @@
+#include "datasets/recipes.h"
+
+namespace mmdb {
+namespace datasets {
+
+std::vector<std::pair<Rgb, Rgb>> DefaultDarkenPairs() {
+  return {{colors::kRed, colors::kMaroon},
+          {colors::kYellow, colors::kGold},
+          {colors::kSkyBlue, colors::kNavy},
+          {colors::kBlue, colors::kNavy},
+          {colors::kWhite, colors::kSilver}};
+}
+
+std::vector<AugmentationRecipe> StandardAugmentations(
+    ObjectId base_id, int32_t width, int32_t height,
+    const std::vector<std::pair<Rgb, Rgb>>& darken_pairs) {
+  std::vector<AugmentationRecipe> recipes;
+
+  {
+    AugmentationRecipe dusk;
+    dusk.name = "dusk";
+    dusk.script.base_id = base_id;
+    for (const auto& [day, evening] : darken_pairs) {
+      dusk.script.ops.emplace_back(ModifyOp{day, evening});
+    }
+    recipes.push_back(std::move(dusk));
+  }
+  {
+    AugmentationRecipe washed;
+    washed.name = "washed";
+    washed.script.base_id = base_id;
+    washed.script.ops.emplace_back(CombineOp::GaussianBlur());
+    washed.script.ops.emplace_back(CombineOp::BoxBlur());
+    recipes.push_back(std::move(washed));
+  }
+  {
+    AugmentationRecipe crop;
+    crop.name = "center-crop";
+    crop.script.base_id = base_id;
+    crop.script.ops.emplace_back(
+        DefineOp{Rect(width / 5, height / 5, width * 4 / 5,
+                      height * 4 / 5)});
+    crop.script.ops.emplace_back(MergeOp{});
+    recipes.push_back(std::move(crop));
+  }
+  {
+    AugmentationRecipe thumbnail;
+    thumbnail.name = "thumbnail";
+    thumbnail.script.base_id = base_id;
+    thumbnail.script.ops.emplace_back(MutateOp::Scale(0.5, 0.5));
+    recipes.push_back(std::move(thumbnail));
+  }
+  {
+    AugmentationRecipe shifted;
+    shifted.name = "shifted";
+    shifted.script.base_id = base_id;
+    shifted.script.ops.emplace_back(
+        DefineOp{Rect(0, 0, width * 3 / 4, height * 3 / 4)});
+    shifted.script.ops.emplace_back(
+        MutateOp::Translation(width / 4.0, height / 4.0));
+    recipes.push_back(std::move(shifted));
+  }
+  return recipes;
+}
+
+}  // namespace datasets
+}  // namespace mmdb

@@ -1,0 +1,44 @@
+#ifndef MMDB_DATASETS_RECIPES_H_
+#define MMDB_DATASETS_RECIPES_H_
+
+#include <string>
+#include <vector>
+
+#include "editops/edit_ops.h"
+#include "image/color.h"
+
+namespace mmdb {
+namespace datasets {
+
+/// A named augmentation recipe: an edit script plus a human-readable tag
+/// ("dusk", "washed", ...).
+struct AugmentationRecipe {
+  std::string name;
+  EditScript script;
+};
+
+/// Standard augmentation families for the false-negative scenarios the
+/// paper motivates (Section 2): lighting shifts, blur, crops, and
+/// thumbnails, all expressed as bound-widening edit sequences over a
+/// `width` x `height` base image.
+///
+/// * `dusk` — saturated palette colors darkened (Modify per color pair);
+/// * `washed` — Gaussian + box blur (motion / rain);
+/// * `center-crop` — the middle ~60% extracted (Define + Merge NULL);
+/// * `thumbnail` — whole-image 0.5x scale (Mutate);
+/// * `shifted` — content translated by a quarter frame (rigid Mutate).
+///
+/// `darken_pairs` supplies the dusk recipe's (daylight, dusk) color
+/// pairs; pass the dataset's palette mapping. All recipes classify as
+/// bound-widening, so BWM clusters them under the base image.
+std::vector<AugmentationRecipe> StandardAugmentations(
+    ObjectId base_id, int32_t width, int32_t height,
+    const std::vector<std::pair<Rgb, Rgb>>& darken_pairs);
+
+/// The default daylight->dusk pairs for the built-in palettes.
+std::vector<std::pair<Rgb, Rgb>> DefaultDarkenPairs();
+
+}  // namespace datasets
+}  // namespace mmdb
+
+#endif  // MMDB_DATASETS_RECIPES_H_

@@ -1,0 +1,58 @@
+#include "editops/delta.h"
+
+namespace mmdb {
+
+Result<EditScript> MakeDeltaScript(ObjectId base_id, const Image& base,
+                                   const Image& target) {
+  if (base.Empty() || target.Empty()) {
+    return Status::InvalidArgument("delta script: empty image");
+  }
+  if (target.width() > base.width() || target.height() > base.height()) {
+    return Status::NotSupported(
+        "delta script: target exceeds base dimensions");
+  }
+
+  EditScript script;
+  script.base_id = base_id;
+
+  // Reach the target dimensions first with a crop, if needed.
+  Image working = base;
+  if (target.width() != base.width() || target.height() != base.height()) {
+    const Rect crop = Rect::Full(target.width(), target.height());
+    script.ops.emplace_back(DefineOp{crop});
+    script.ops.emplace_back(MergeOp{});  // NULL target: extract the DR.
+    Image cropped(target.width(), target.height());
+    for (int32_t y = 0; y < target.height(); ++y) {
+      for (int32_t x = 0; x < target.width(); ++x) {
+        cropped.At(x, y) = working.At(x, y);
+      }
+    }
+    working = std::move(cropped);
+  }
+
+  // One Define + Modify per maximal horizontal run of pixels that share
+  // the same (current, wanted) recoloring. Every pixel of the old color
+  // inside such a run wants the change, so Modify is exact there.
+  for (int32_t y = 0; y < target.height(); ++y) {
+    int32_t x = 0;
+    while (x < target.width()) {
+      const Rgb current = working.At(x, y);
+      const Rgb wanted = target.At(x, y);
+      if (current == wanted) {
+        ++x;
+        continue;
+      }
+      int32_t end = x + 1;
+      while (end < target.width() && working.At(end, y) == current &&
+             target.At(end, y) == wanted) {
+        ++end;
+      }
+      script.ops.emplace_back(DefineOp{Rect(x, y, end, y + 1)});
+      script.ops.emplace_back(ModifyOp{current, wanted});
+      x = end;
+    }
+  }
+  return script;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,33 @@
+#ifndef MMDB_EDITOPS_DELTA_H_
+#define MMDB_EDITOPS_DELTA_H_
+
+#include "editops/edit_ops.h"
+#include "image/image.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Constructive completeness of the operation set (the paper's [2]
+/// proves the five operations "can be combined to perform any image
+/// transformation by manipulating a single pixel at a time"):
+/// `MakeDeltaScript` builds an edit script that transforms `base` into
+/// `target` exactly, so *any* image can be stored as a sequence of
+/// editing operations against any same-sized base.
+///
+/// Construction: for every maximal horizontal run of pixels that share
+/// the same (current, wanted) color pair, emit Define(run) + Modify
+/// (Modify only recolors pixels matching the old color, and within a
+/// run every such pixel wants the change, so the pair is always safe).
+/// If the target is smaller it is reached with a Define + Merge(NULL)
+/// crop first; other size changes are unsupported (store conventionally
+/// instead).
+///
+/// The script length is proportional to the number of differing runs —
+/// tiny for near-duplicates, up to 2 ops per pixel in the worst case —
+/// which is exactly the storage trade-off the augmented MMDBMS makes.
+Result<EditScript> MakeDeltaScript(ObjectId base_id, const Image& base,
+                                   const Image& target);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EDITOPS_DELTA_H_

@@ -1,0 +1,214 @@
+#include "editops/dsl.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace mmdb {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, sep)) out.push_back(token);
+  return out;
+}
+
+bool ParseColor(const std::string& text, Rgb* out) {
+  if (text.size() != 7 || text[0] != '#') return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str() + 1, &end, 16);
+  if (end == nullptr || *end != '\0') return false;
+  *out = Rgb::FromPacked(static_cast<uint32_t>(value));
+  return true;
+}
+
+Result<std::vector<double>> ParseDoubles(const std::string& text,
+                                         size_t expected) {
+  const std::vector<std::string> parts = Split(text, ',');
+  if (parts.size() != expected) {
+    return Status::InvalidArgument("expected " + std::to_string(expected) +
+                                   " comma-separated numbers");
+  }
+  std::vector<double> out;
+  for (const std::string& part : parts) {
+    char* end = nullptr;
+    out.push_back(std::strtod(part.c_str(), &end));
+    if (end == part.c_str() || *end != '\0') {
+      return Status::InvalidArgument("malformed number '" + part + "'");
+    }
+  }
+  return out;
+}
+
+/// Shortest exact double rendering (%.17g trimmed via round-trip).
+std::string FormatDouble(double v) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+bool IsPureTranslation(const MutateOp& op, double* dx, double* dy) {
+  if (op.m[0] != 1 || op.m[1] != 0 || op.m[3] != 0 || op.m[4] != 1 ||
+      op.m[6] != 0 || op.m[7] != 0 || op.m[8] != 1) {
+    return false;
+  }
+  *dx = op.m[2];
+  *dy = op.m[5];
+  return true;
+}
+
+}  // namespace
+
+Result<EditScript> ParseScriptDsl(ObjectId base_id,
+                                  const std::string& spec) {
+  EditScript script;
+  script.base_id = base_id;
+  for (const std::string& op_text : Split(spec, ';')) {
+    if (op_text.empty()) continue;
+    const size_t colon = op_text.find(':');
+    const std::string kind = op_text.substr(0, colon);
+    const std::string args =
+        colon == std::string::npos ? "" : op_text.substr(colon + 1);
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("op '" + op_text + "': " + why);
+    };
+
+    if (kind == "define") {
+      MMDB_ASSIGN_OR_RETURN(auto nums, ParseDoubles(args, 4));
+      script.ops.emplace_back(DefineOp{
+          Rect(static_cast<int32_t>(nums[0]), static_cast<int32_t>(nums[1]),
+               static_cast<int32_t>(nums[2]),
+               static_cast<int32_t>(nums[3]))});
+    } else if (kind == "modify") {
+      const std::vector<std::string> colors = Split(args, ':');
+      ModifyOp op;
+      if (colors.size() != 2 || !ParseColor(colors[0], &op.old_color) ||
+          !ParseColor(colors[1], &op.new_color)) {
+        return bad("expected modify:#old:#new");
+      }
+      script.ops.emplace_back(op);
+    } else if (kind == "blur") {
+      script.ops.emplace_back(CombineOp::BoxBlur());
+    } else if (kind == "gauss") {
+      script.ops.emplace_back(CombineOp::GaussianBlur());
+    } else if (kind == "combine") {
+      MMDB_ASSIGN_OR_RETURN(auto weights, ParseDoubles(args, 9));
+      CombineOp op;
+      for (size_t i = 0; i < 9; ++i) op.weights[i] = weights[i];
+      script.ops.emplace_back(op);
+    } else if (kind == "scale") {
+      const size_t comma = args.find(',');
+      if (comma == std::string::npos) {
+        MMDB_ASSIGN_OR_RETURN(auto s, ParseDoubles(args, 1));
+        if (s[0] <= 0) return bad("scale must be positive");
+        script.ops.emplace_back(MutateOp::Scale(s[0], s[0]));
+      } else {
+        MMDB_ASSIGN_OR_RETURN(auto s, ParseDoubles(args, 2));
+        if (s[0] <= 0 || s[1] <= 0) return bad("scale must be positive");
+        script.ops.emplace_back(MutateOp::Scale(s[0], s[1]));
+      }
+    } else if (kind == "translate") {
+      MMDB_ASSIGN_OR_RETURN(auto d, ParseDoubles(args, 2));
+      script.ops.emplace_back(MutateOp::Translation(d[0], d[1]));
+    } else if (kind == "rotate") {
+      const std::vector<std::string> parts = Split(args, ',');
+      if (parts.size() == 1) {
+        MMDB_ASSIGN_OR_RETURN(auto deg, ParseDoubles(args, 1));
+        script.ops.emplace_back(
+            MutateOp::Rotation(deg[0] * kPi / 180.0, 0.0, 0.0));
+      } else {
+        MMDB_ASSIGN_OR_RETURN(auto v, ParseDoubles(args, 3));
+        script.ops.emplace_back(
+            MutateOp::Rotation(v[0] * kPi / 180.0, v[1], v[2]));
+      }
+    } else if (kind == "matrix") {
+      MMDB_ASSIGN_OR_RETURN(auto m, ParseDoubles(args, 9));
+      MutateOp op;
+      for (size_t i = 0; i < 9; ++i) op.m[i] = m[i];
+      script.ops.emplace_back(op);
+    } else if (kind == "crop") {
+      script.ops.emplace_back(MergeOp{});
+    } else if (kind == "merge") {
+      MMDB_ASSIGN_OR_RETURN(auto v, ParseDoubles(args, 3));
+      if (v[0] < 1) return bad("merge target id must be positive");
+      MergeOp op;
+      op.target = static_cast<ObjectId>(v[0]);
+      op.x = static_cast<int32_t>(v[1]);
+      op.y = static_cast<int32_t>(v[2]);
+      script.ops.emplace_back(op);
+    } else {
+      return bad("unknown op kind '" + kind + "'");
+    }
+  }
+  return script;
+}
+
+std::string FormatScriptDsl(const EditScript& script) {
+  std::string out;
+  for (const EditOp& op : script.ops) {
+    if (!out.empty()) out += ';';
+    std::visit(
+        [&out](const auto& concrete) {
+          using T = std::decay_t<decltype(concrete)>;
+          if constexpr (std::is_same_v<T, DefineOp>) {
+            out += "define:" + std::to_string(concrete.region.x0) + "," +
+                   std::to_string(concrete.region.y0) + "," +
+                   std::to_string(concrete.region.x1) + "," +
+                   std::to_string(concrete.region.y1);
+          } else if constexpr (std::is_same_v<T, ModifyOp>) {
+            out += "modify:" + concrete.old_color.ToHexString() + ":" +
+                   concrete.new_color.ToHexString();
+          } else if constexpr (std::is_same_v<T, CombineOp>) {
+            if (concrete == CombineOp::BoxBlur()) {
+              out += "blur";
+            } else if (concrete == CombineOp::GaussianBlur()) {
+              out += "gauss";
+            } else {
+              out += "combine:";
+              for (size_t i = 0; i < 9; ++i) {
+                if (i) out += ',';
+                out += FormatDouble(concrete.weights[i]);
+              }
+            }
+          } else if constexpr (std::is_same_v<T, MutateOp>) {
+            double dx, dy;
+            if (concrete.IsPureScale()) {
+              out += "scale:" + FormatDouble(concrete.m[0]) + "," +
+                     FormatDouble(concrete.m[4]);
+            } else if (IsPureTranslation(concrete, &dx, &dy)) {
+              out += "translate:" + FormatDouble(dx) + "," +
+                     FormatDouble(dy);
+            } else {
+              out += "matrix:";
+              for (size_t i = 0; i < 9; ++i) {
+                if (i) out += ',';
+                out += FormatDouble(concrete.m[i]);
+              }
+            }
+          } else {
+            // MergeOp.
+            if (concrete.IsNullTarget()) {
+              out += "crop";
+            } else {
+              out += "merge:" + std::to_string(*concrete.target) + "," +
+                     std::to_string(concrete.x) + "," +
+                     std::to_string(concrete.y);
+            }
+          }
+        },
+        op);
+  }
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,40 @@
+#ifndef MMDB_EDITOPS_DSL_H_
+#define MMDB_EDITOPS_DSL_H_
+
+#include <string>
+
+#include "editops/edit_ops.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Human-writable textual format for edit scripts — the interchange form
+/// used by the CLI and suitable for config files and logs. Operations
+/// are separated by ';':
+///
+/// ```
+/// define:x0,y0,x1,y1        select the Defined Region
+/// modify:#rrggbb:#rrggbb    recolor old -> new within the DR
+/// blur | gauss              box / binomial Combine kernels
+/// combine:w1,...,w9         arbitrary 3x3 Combine weights
+/// scale:s | scale:sx,sy     pure axis Mutate scale
+/// translate:dx,dy           rigid Mutate translation
+/// rotate:deg[,cx,cy]        rigid Mutate rotation (about cx,cy; 0,0
+///                           when omitted)
+/// matrix:m11,...,m33        arbitrary Mutate matrix (row-major)
+/// crop                      Merge with NULL target (extract the DR)
+/// merge:target,x,y          Merge into stored image `target` at (x, y)
+/// ```
+///
+/// `FormatScriptDsl` renders every script in canonical tokens
+/// (blur/gauss/scale/translate shortcuts where exact, matrix otherwise)
+/// such that `ParseScriptDsl(base, FormatScriptDsl(s)) == s` — the
+/// round-trip property the tests enforce.
+Result<EditScript> ParseScriptDsl(ObjectId base_id, const std::string& spec);
+
+/// Canonical textual rendering (see `ParseScriptDsl`).
+std::string FormatScriptDsl(const EditScript& script);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EDITOPS_DSL_H_

@@ -1,0 +1,190 @@
+#include "editops/edit_ops.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mmdb {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+std::string_view EditOpTypeName(EditOpType type) {
+  switch (type) {
+    case EditOpType::kDefine:
+      return "Define";
+    case EditOpType::kCombine:
+      return "Combine";
+    case EditOpType::kModify:
+      return "Modify";
+    case EditOpType::kMutate:
+      return "Mutate";
+    case EditOpType::kMerge:
+      return "Merge";
+  }
+  return "Unknown";
+}
+
+std::string DefineOp::ToString() const {
+  return "Define(" + region.ToString() + ")";
+}
+
+CombineOp CombineOp::BoxBlur() {
+  CombineOp op;
+  op.weights.fill(1.0);
+  return op;
+}
+
+CombineOp CombineOp::GaussianBlur() {
+  CombineOp op;
+  op.weights = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  return op;
+}
+
+double CombineOp::WeightSum() const {
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  return sum;
+}
+
+std::string CombineOp::ToString() const {
+  std::ostringstream os;
+  os << "Combine(";
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (i) os << ",";
+    os << weights[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string ModifyOp::ToString() const {
+  return "Modify(" + old_color.ToHexString() + "->" +
+         new_color.ToHexString() + ")";
+}
+
+MutateOp MutateOp::Identity() { return MutateOp(); }
+
+MutateOp MutateOp::Translation(double dx, double dy) {
+  MutateOp op;
+  op.m = {1, 0, dx, 0, 1, dy, 0, 0, 1};
+  return op;
+}
+
+MutateOp MutateOp::Rotation(double radians, double cx, double cy) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  // Translate(-cx,-cy) then rotate then translate back, composed.
+  MutateOp op;
+  op.m = {c, -s, cx - c * cx + s * cy,
+          s, c,  cy - s * cx - c * cy,
+          0, 0,  1};
+  return op;
+}
+
+MutateOp MutateOp::Scale(double sx, double sy) {
+  MutateOp op;
+  op.m = {sx, 0, 0, 0, sy, 0, 0, 0, 1};
+  return op;
+}
+
+double MutateOp::Det2x2() const { return m[0] * m[4] - m[1] * m[3]; }
+
+bool MutateOp::IsRigidBody() const {
+  if (std::fabs(m[6]) > kEps || std::fabs(m[7]) > kEps ||
+      std::fabs(m[8] - 1.0) > kEps) {
+    return false;
+  }
+  // Columns of the 2x2 block must be orthonormal.
+  const double c0 = m[0] * m[0] + m[3] * m[3];
+  const double c1 = m[1] * m[1] + m[4] * m[4];
+  const double dot = m[0] * m[1] + m[3] * m[4];
+  return std::fabs(c0 - 1.0) < 1e-6 && std::fabs(c1 - 1.0) < 1e-6 &&
+         std::fabs(dot) < 1e-6;
+}
+
+bool MutateOp::IsPureScale() const {
+  return std::fabs(m[1]) < kEps && std::fabs(m[3]) < kEps &&
+         std::fabs(m[2]) < kEps && std::fabs(m[5]) < kEps &&
+         std::fabs(m[6]) < kEps && std::fabs(m[7]) < kEps &&
+         std::fabs(m[8] - 1.0) < kEps && m[0] > kEps && m[4] > kEps;
+}
+
+bool MutateOp::Apply(double x, double y, double* out_x, double* out_y) const {
+  const double w = m[6] * x + m[7] * y + m[8];
+  if (std::fabs(w) < kEps) return false;
+  *out_x = (m[0] * x + m[1] * y + m[2]) / w;
+  *out_y = (m[3] * x + m[4] * y + m[5]) / w;
+  return true;
+}
+
+std::optional<MutateOp> MutateOp::Inverse() const {
+  const auto& a = m;
+  const double det = a[0] * (a[4] * a[8] - a[5] * a[7]) -
+                     a[1] * (a[3] * a[8] - a[5] * a[6]) +
+                     a[2] * (a[3] * a[7] - a[4] * a[6]);
+  if (std::fabs(det) < kEps) return std::nullopt;
+  MutateOp inv;
+  inv.m = {(a[4] * a[8] - a[5] * a[7]) / det,
+           (a[2] * a[7] - a[1] * a[8]) / det,
+           (a[1] * a[5] - a[2] * a[4]) / det,
+           (a[5] * a[6] - a[3] * a[8]) / det,
+           (a[0] * a[8] - a[2] * a[6]) / det,
+           (a[2] * a[3] - a[0] * a[5]) / det,
+           (a[3] * a[7] - a[4] * a[6]) / det,
+           (a[1] * a[6] - a[0] * a[7]) / det,
+           (a[0] * a[4] - a[1] * a[3]) / det};
+  return inv;
+}
+
+std::string MutateOp::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Mutate([%.3g %.3g %.3g; %.3g %.3g %.3g; %.3g %.3g %.3g])",
+                m[0], m[1], m[2], m[3], m[4], m[5], m[6], m[7], m[8]);
+  return buf;
+}
+
+std::string MergeOp::ToString() const {
+  if (IsNullTarget()) return "Merge(NULL)";
+  return "Merge(target=" + std::to_string(*target) + ", at=(" +
+         std::to_string(x) + "," + std::to_string(y) + "))";
+}
+
+EditOpType GetOpType(const EditOp& op) {
+  return std::visit(
+      [](const auto& concrete) -> EditOpType {
+        using T = std::decay_t<decltype(concrete)>;
+        if constexpr (std::is_same_v<T, DefineOp>) {
+          return EditOpType::kDefine;
+        } else if constexpr (std::is_same_v<T, CombineOp>) {
+          return EditOpType::kCombine;
+        } else if constexpr (std::is_same_v<T, ModifyOp>) {
+          return EditOpType::kModify;
+        } else if constexpr (std::is_same_v<T, MutateOp>) {
+          return EditOpType::kMutate;
+        } else {
+          return EditOpType::kMerge;
+        }
+      },
+      op);
+}
+
+std::string EditOpToString(const EditOp& op) {
+  return std::visit([](const auto& concrete) { return concrete.ToString(); },
+                    op);
+}
+
+std::string EditScript::ToString() const {
+  std::ostringstream os;
+  os << "EditScript(base=" << base_id << ", ops=[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i) os << ", ";
+    os << EditOpToString(ops[i]);
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,65 @@
+#include "editops/optimize.h"
+
+#include <cmath>
+
+namespace mmdb {
+
+namespace {
+
+bool IsIdentityMutate(const MutateOp& op) {
+  static constexpr double kIdentity[9] = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  for (int i = 0; i < 9; ++i) {
+    if (std::fabs(op.m[static_cast<size_t>(i)] - kIdentity[i]) > 1e-12) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsDeadOp(const EditOp& op) {
+  switch (GetOpType(op)) {
+    case EditOpType::kModify: {
+      const ModifyOp& modify = std::get<ModifyOp>(op);
+      return modify.old_color == modify.new_color;
+    }
+    case EditOpType::kCombine:
+      return std::get<CombineOp>(op).WeightSum() == 0.0;
+    case EditOpType::kMutate:
+      return IsIdentityMutate(std::get<MutateOp>(op));
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+EditScript OptimizeScript(const EditScript& script, OptimizeStats* stats) {
+  EditScript out;
+  out.base_id = script.base_id;
+  out.ops.reserve(script.ops.size());
+
+  for (const EditOp& op : script.ops) {
+    if (IsDeadOp(op)) continue;
+    // A Define immediately followed by another Define was never consumed.
+    if (!out.ops.empty() &&
+        GetOpType(out.ops.back()) == EditOpType::kDefine &&
+        GetOpType(op) == EditOpType::kDefine) {
+      out.ops.back() = op;
+      continue;
+    }
+    out.ops.push_back(op);
+  }
+  // Trailing Defines select pixels nothing will ever edit.
+  while (!out.ops.empty() &&
+         GetOpType(out.ops.back()) == EditOpType::kDefine) {
+    out.ops.pop_back();
+  }
+
+  if (stats != nullptr) {
+    stats->removed_ops =
+        static_cast<int>(script.ops.size()) - static_cast<int>(out.ops.size());
+  }
+  return out;
+}
+
+}  // namespace mmdb

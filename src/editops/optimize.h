@@ -1,0 +1,40 @@
+#ifndef MMDB_EDITOPS_OPTIMIZE_H_
+#define MMDB_EDITOPS_OPTIMIZE_H_
+
+#include "editops/edit_ops.h"
+
+namespace mmdb {
+
+/// Statistics from one optimizer run.
+struct OptimizeStats {
+  int removed_ops = 0;
+
+  friend bool operator==(const OptimizeStats&, const OptimizeStats&) =
+      default;
+};
+
+/// Conservative, semantics-preserving simplification of an edit script.
+///
+/// Stored edit sequences accumulate dead operations as editing sessions
+/// are recorded (re-selects, cancelled recolors, identity transforms);
+/// since the MMDBMS pays per operation at query time (one rule per op
+/// per query), shortening scripts speeds up RBM and BWM alike. Applied
+/// rewrites — each provably identity-preserving on the instantiated
+/// pixels (the property suite checks this against the editor):
+///
+///  * drop `Modify` whose old and new colors are equal;
+///  * drop `Combine` whose weights sum to zero (defined as a no-op);
+///  * drop identity `Mutate` matrices;
+///  * of consecutive `Define`s, keep only the last (an unconsumed
+///    selection has no effect);
+///  * drop trailing `Define`s (the final DR is not part of the image).
+///
+/// The rewrites never change the bound-widening classification of the
+/// script (only bound-widening ops are ever removed), so BWM placement
+/// is stable.
+EditScript OptimizeScript(const EditScript& script,
+                          OptimizeStats* stats = nullptr);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EDITOPS_OPTIMIZE_H_

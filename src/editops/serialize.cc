@@ -1,0 +1,191 @@
+#include "editops/serialize.h"
+
+#include <cstring>
+
+namespace mmdb {
+
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutI32(std::string& out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Cursor over the encoded buffer with bounds-checked reads.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  Result<int32_t> I32() {
+    MMDB_ASSIGN_OR_RETURN(uint32_t v, U32());
+    return static_cast<int32_t>(v);
+  }
+  Result<double> F64() {
+    MMDB_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  static Status Truncated() {
+    return Status::Corruption("edit script: truncated record");
+  }
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeEditScript(const EditScript& script) {
+  std::string out;
+  PutU8(out, kFormatVersion);
+  PutU64(out, script.base_id);
+  PutU32(out, static_cast<uint32_t>(script.ops.size()));
+  for (const EditOp& op : script.ops) {
+    PutU8(out, static_cast<uint8_t>(GetOpType(op)));
+    std::visit(
+        [&out](const auto& concrete) {
+          using T = std::decay_t<decltype(concrete)>;
+          if constexpr (std::is_same_v<T, DefineOp>) {
+            PutI32(out, concrete.region.x0);
+            PutI32(out, concrete.region.y0);
+            PutI32(out, concrete.region.x1);
+            PutI32(out, concrete.region.y1);
+          } else if constexpr (std::is_same_v<T, CombineOp>) {
+            for (double w : concrete.weights) PutF64(out, w);
+          } else if constexpr (std::is_same_v<T, ModifyOp>) {
+            PutU32(out, concrete.old_color.Packed());
+            PutU32(out, concrete.new_color.Packed());
+          } else if constexpr (std::is_same_v<T, MutateOp>) {
+            for (double v : concrete.m) PutF64(out, v);
+          } else {
+            // MergeOp.
+            PutU8(out, concrete.target.has_value() ? 1 : 0);
+            PutU64(out, concrete.target.value_or(kInvalidObjectId));
+            PutI32(out, concrete.x);
+            PutI32(out, concrete.y);
+          }
+        },
+        op);
+  }
+  return out;
+}
+
+Result<EditScript> DecodeEditScript(const std::string& data) {
+  Reader reader(data);
+  MMDB_ASSIGN_OR_RETURN(uint8_t version, reader.U8());
+  if (version != kFormatVersion) {
+    return Status::Corruption("edit script: unknown format version " +
+                              std::to_string(version));
+  }
+  EditScript script;
+  MMDB_ASSIGN_OR_RETURN(script.base_id, reader.U64());
+  MMDB_ASSIGN_OR_RETURN(uint32_t op_count, reader.U32());
+  if (op_count > (1u << 24)) {
+    return Status::Corruption("edit script: implausible op count");
+  }
+  script.ops.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; ++i) {
+    MMDB_ASSIGN_OR_RETURN(uint8_t raw_type, reader.U8());
+    switch (static_cast<EditOpType>(raw_type)) {
+      case EditOpType::kDefine: {
+        DefineOp op;
+        MMDB_ASSIGN_OR_RETURN(op.region.x0, reader.I32());
+        MMDB_ASSIGN_OR_RETURN(op.region.y0, reader.I32());
+        MMDB_ASSIGN_OR_RETURN(op.region.x1, reader.I32());
+        MMDB_ASSIGN_OR_RETURN(op.region.y1, reader.I32());
+        script.ops.emplace_back(op);
+        break;
+      }
+      case EditOpType::kCombine: {
+        CombineOp op;
+        for (double& w : op.weights) {
+          MMDB_ASSIGN_OR_RETURN(w, reader.F64());
+        }
+        script.ops.emplace_back(op);
+        break;
+      }
+      case EditOpType::kModify: {
+        ModifyOp op;
+        MMDB_ASSIGN_OR_RETURN(uint32_t old_packed, reader.U32());
+        MMDB_ASSIGN_OR_RETURN(uint32_t new_packed, reader.U32());
+        op.old_color = Rgb::FromPacked(old_packed);
+        op.new_color = Rgb::FromPacked(new_packed);
+        script.ops.emplace_back(op);
+        break;
+      }
+      case EditOpType::kMutate: {
+        MutateOp op;
+        for (double& v : op.m) {
+          MMDB_ASSIGN_OR_RETURN(v, reader.F64());
+        }
+        script.ops.emplace_back(op);
+        break;
+      }
+      case EditOpType::kMerge: {
+        MergeOp op;
+        MMDB_ASSIGN_OR_RETURN(uint8_t has_target, reader.U8());
+        MMDB_ASSIGN_OR_RETURN(uint64_t target, reader.U64());
+        if (has_target) op.target = target;
+        MMDB_ASSIGN_OR_RETURN(op.x, reader.I32());
+        MMDB_ASSIGN_OR_RETURN(op.y, reader.I32());
+        script.ops.emplace_back(op);
+        break;
+      }
+      default:
+        return Status::Corruption("edit script: unknown op tag " +
+                                  std::to_string(raw_type));
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("edit script: trailing bytes");
+  }
+  return script;
+}
+
+}  // namespace mmdb

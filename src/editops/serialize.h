@@ -1,0 +1,22 @@
+#ifndef MMDB_EDITOPS_SERIALIZE_H_
+#define MMDB_EDITOPS_SERIALIZE_H_
+
+#include <string>
+
+#include "editops/edit_ops.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Serializes an edit script to a compact, versioned little-endian binary
+/// record: this is the on-disk storage format of an edited image in the
+/// augmented MMDBMS (a few dozen bytes, versus megabytes for the raster).
+std::string EncodeEditScript(const EditScript& script);
+
+/// Parses a record produced by `EncodeEditScript`. Returns Corruption on
+/// malformed input.
+Result<EditScript> DecodeEditScript(const std::string& data);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EDITOPS_SERIALIZE_H_

@@ -1,0 +1,118 @@
+#include "features/shape.h"
+
+#include <cmath>
+#include <map>
+
+namespace mmdb::features {
+
+std::vector<uint8_t> ForegroundMask(const Image& image) {
+  std::vector<uint8_t> mask(static_cast<size_t>(image.PixelCount()), 0);
+  if (image.Empty()) return mask;
+  // Most frequent border color = background.
+  std::map<uint32_t, int64_t> border_counts;
+  for (int32_t x = 0; x < image.width(); ++x) {
+    ++border_counts[image.At(x, 0).Packed()];
+    ++border_counts[image.At(x, image.height() - 1).Packed()];
+  }
+  for (int32_t y = 0; y < image.height(); ++y) {
+    ++border_counts[image.At(0, y).Packed()];
+    ++border_counts[image.At(image.width() - 1, y).Packed()];
+  }
+  uint32_t background = 0;
+  int64_t best = -1;
+  for (const auto& [packed, count] : border_counts) {
+    if (count > best) {
+      best = count;
+      background = packed;
+    }
+  }
+  const Rgb background_color = Rgb::FromPacked(background);
+  size_t i = 0;
+  for (const Rgb& pixel : image.pixels()) {
+    mask[i++] = pixel == background_color ? 0 : 1;
+  }
+  return mask;
+}
+
+double ForegroundArea(const Image& image) {
+  if (image.Empty()) return 0.0;
+  const std::vector<uint8_t> mask = ForegroundMask(image);
+  int64_t on = 0;
+  for (uint8_t bit : mask) on += bit;
+  return static_cast<double>(on) / static_cast<double>(mask.size());
+}
+
+Signature HuMomentsOfMask(const std::vector<uint8_t>& mask, int32_t width,
+                          int32_t height) {
+  // Raw moments m00, m10, m01.
+  double m00 = 0, m10 = 0, m01 = 0;
+  for (int32_t y = 0; y < height; ++y) {
+    for (int32_t x = 0; x < width; ++x) {
+      if (!mask[static_cast<size_t>(y) * width + x]) continue;
+      m00 += 1;
+      m10 += x;
+      m01 += y;
+    }
+  }
+  if (m00 <= 0) return {};
+  const double cx = m10 / m00;
+  const double cy = m01 / m00;
+
+  // Central moments up to order 3.
+  double mu20 = 0, mu02 = 0, mu11 = 0;
+  double mu30 = 0, mu03 = 0, mu21 = 0, mu12 = 0;
+  for (int32_t y = 0; y < height; ++y) {
+    for (int32_t x = 0; x < width; ++x) {
+      if (!mask[static_cast<size_t>(y) * width + x]) continue;
+      const double dx = x - cx;
+      const double dy = y - cy;
+      mu20 += dx * dx;
+      mu02 += dy * dy;
+      mu11 += dx * dy;
+      mu30 += dx * dx * dx;
+      mu03 += dy * dy * dy;
+      mu21 += dx * dx * dy;
+      mu12 += dx * dy * dy;
+    }
+  }
+  // Scale-normalized central moments: eta_pq = mu_pq / m00^(1+(p+q)/2).
+  auto eta = [m00](double mu, int order) {
+    return mu / std::pow(m00, 1.0 + order / 2.0);
+  };
+  const double n20 = eta(mu20, 2), n02 = eta(mu02, 2), n11 = eta(mu11, 2);
+  const double n30 = eta(mu30, 3), n03 = eta(mu03, 3);
+  const double n21 = eta(mu21, 3), n12 = eta(mu12, 3);
+
+  Signature hu(7, 0.0);
+  hu[0] = n20 + n02;
+  hu[1] = (n20 - n02) * (n20 - n02) + 4 * n11 * n11;
+  hu[2] = (n30 - 3 * n12) * (n30 - 3 * n12) +
+          (3 * n21 - n03) * (3 * n21 - n03);
+  hu[3] = (n30 + n12) * (n30 + n12) + (n21 + n03) * (n21 + n03);
+  hu[4] = (n30 - 3 * n12) * (n30 + n12) *
+              ((n30 + n12) * (n30 + n12) - 3 * (n21 + n03) * (n21 + n03)) +
+          (3 * n21 - n03) * (n21 + n03) *
+              (3 * (n30 + n12) * (n30 + n12) - (n21 + n03) * (n21 + n03));
+  hu[5] = (n20 - n02) *
+              ((n30 + n12) * (n30 + n12) - (n21 + n03) * (n21 + n03)) +
+          4 * n11 * (n30 + n12) * (n21 + n03);
+  hu[6] = (3 * n21 - n03) * (n30 + n12) *
+              ((n30 + n12) * (n30 + n12) - 3 * (n21 + n03) * (n21 + n03)) -
+          (n30 - 3 * n12) * (n21 + n03) *
+              (3 * (n30 + n12) * (n30 + n12) - (n21 + n03) * (n21 + n03));
+
+  // Log compression keeps the seven values on comparable scales.
+  for (double& h : hu) {
+    const double sign = h < 0 ? -1.0 : 1.0;
+    h = sign * std::log10(1.0 + std::fabs(h) * 1e7);
+  }
+  return hu;
+}
+
+Signature HuMoments(const Image& image) {
+  if (image.Empty()) return {};
+  return HuMomentsOfMask(ForegroundMask(image), image.width(),
+                         image.height());
+}
+
+}  // namespace mmdb::features

@@ -1,0 +1,41 @@
+#ifndef MMDB_FEATURES_SHAPE_H_
+#define MMDB_FEATURES_SHAPE_H_
+
+#include <vector>
+
+#include "features/signature.h"
+#include "image/image.h"
+
+namespace mmdb::features {
+
+/// Shape features (paper Section 6 future work; also the paper's own
+/// [7], "Improving the Recognition of Geometrical Shapes in Road Signs
+/// By Augmenting the Database"). Like texture, these need pixels — no
+/// rule table exists for edit sequences.
+
+/// Heuristic figure/ground separation: the background color is taken to
+/// be the most frequent color on the image border, and every pixel that
+/// differs from it is foreground. Returns one 0/1 byte per pixel,
+/// row-major. Works well for the synthetic sign/logo imagery this repo
+/// targets; callers with alpha or depth data should build their own
+/// mask.
+std::vector<uint8_t> ForegroundMask(const Image& image);
+
+/// Fraction of pixels in the foreground mask.
+double ForegroundArea(const Image& image);
+
+/// The seven Hu invariant moments of the foreground mask, each
+/// log-compressed as sign(h) * log10(1 + |h| * 1e7) for comparable
+/// magnitudes. Invariant (up to rasterization noise) under translation,
+/// scaling, and rotation of the shape — verified by the property tests.
+/// Returns an empty signature for an empty mask.
+Signature HuMoments(const Image& image);
+
+/// Hu moments of a caller-supplied mask (same layout as
+/// `ForegroundMask`).
+Signature HuMomentsOfMask(const std::vector<uint8_t>& mask, int32_t width,
+                          int32_t height);
+
+}  // namespace mmdb::features
+
+#endif  // MMDB_FEATURES_SHAPE_H_

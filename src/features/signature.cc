@@ -1,0 +1,27 @@
+#include "features/signature.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mmdb::features {
+
+double L1Distance(const Signature& a, const Signature& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double CosineSimilarity(const Signature& a, const Signature& b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace mmdb::features

@@ -1,0 +1,20 @@
+#ifndef MMDB_FEATURES_SIGNATURE_H_
+#define MMDB_FEATURES_SIGNATURE_H_
+
+#include <vector>
+
+namespace mmdb::features {
+
+/// A generic normalized feature vector (texture and shape features use
+/// this representation; color keeps its dedicated `ColorHistogram`).
+using Signature = std::vector<double>;
+
+/// Sum of absolute differences; signatures must have equal arity.
+double L1Distance(const Signature& a, const Signature& b);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+double CosineSimilarity(const Signature& a, const Signature& b);
+
+}  // namespace mmdb::features
+
+#endif  // MMDB_FEATURES_SIGNATURE_H_

@@ -1,0 +1,79 @@
+#include "features/texture.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmdb::features {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Rec. 601 luma.
+double Grey(const Rgb& p) {
+  return 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+}
+
+/// Sobel gradient at (x, y); the caller keeps coordinates interior.
+void SobelAt(const Image& image, int32_t x, int32_t y, double* gx,
+             double* gy) {
+  const double tl = Grey(image.At(x - 1, y - 1));
+  const double tc = Grey(image.At(x, y - 1));
+  const double tr = Grey(image.At(x + 1, y - 1));
+  const double ml = Grey(image.At(x - 1, y));
+  const double mr = Grey(image.At(x + 1, y));
+  const double bl = Grey(image.At(x - 1, y + 1));
+  const double bc = Grey(image.At(x, y + 1));
+  const double br = Grey(image.At(x + 1, y + 1));
+  *gx = (tr + 2 * mr + br) - (tl + 2 * ml + bl);
+  *gy = (bl + 2 * bc + br) - (tl + 2 * tc + tr);
+}
+
+}  // namespace
+
+Signature EdgeOrientationHistogram(const Image& image, int orientation_bins,
+                                   double magnitude_threshold) {
+  orientation_bins = std::max(1, orientation_bins);
+  if (image.width() < 3 || image.height() < 3) return {};
+  Signature histogram(static_cast<size_t>(orientation_bins) + 1, 0.0);
+  int64_t total = 0;
+  for (int32_t y = 1; y < image.height() - 1; ++y) {
+    for (int32_t x = 1; x < image.width() - 1; ++x) {
+      double gx, gy;
+      SobelAt(image, x, y, &gx, &gy);
+      const double magnitude = std::hypot(gx, gy);
+      ++total;
+      if (magnitude < magnitude_threshold) {
+        histogram.back() += 1.0;
+        continue;
+      }
+      // Edge orientation is undirected: fold into [0, pi).
+      double theta = std::atan2(gy, gx);
+      if (theta < 0) theta += kPi;
+      if (theta >= kPi) theta -= kPi;
+      int bin = static_cast<int>(theta / kPi * orientation_bins);
+      bin = std::clamp(bin, 0, orientation_bins - 1);
+      histogram[static_cast<size_t>(bin)] += 1.0;
+    }
+  }
+  if (total > 0) {
+    for (double& value : histogram) value /= static_cast<double>(total);
+  }
+  return histogram;
+}
+
+double EdgeDensity(const Image& image, double magnitude_threshold) {
+  if (image.width() < 3 || image.height() < 3) return 0.0;
+  int64_t edges = 0, total = 0;
+  for (int32_t y = 1; y < image.height() - 1; ++y) {
+    for (int32_t x = 1; x < image.width() - 1; ++x) {
+      double gx, gy;
+      SobelAt(image, x, y, &gx, &gy);
+      ++total;
+      if (std::hypot(gx, gy) >= magnitude_threshold) ++edges;
+    }
+  }
+  return total > 0 ? static_cast<double>(edges) / total : 0.0;
+}
+
+}  // namespace mmdb::features

@@ -1,0 +1,34 @@
+#ifndef MMDB_FEATURES_TEXTURE_H_
+#define MMDB_FEATURES_TEXTURE_H_
+
+#include "features/signature.h"
+#include "image/image.h"
+
+namespace mmdb::features {
+
+/// Texture features (paper Section 6 future work: "it will be necessary
+/// to develop approaches for other common features besides color, such
+/// as texture and shape").
+///
+/// Unlike color histograms, no per-editing-operation rule table exists
+/// for these features, so edited images must be instantiated before
+/// extraction — exactly the asymmetry that makes the paper's color rules
+/// valuable. These extractors serve the conventional (binary image)
+/// path; see DESIGN.md.
+
+/// Edge-orientation histogram: Sobel gradients, orientations folded into
+/// [0, pi) and spread over `orientation_bins`, plus one trailing bin for
+/// flat (below `magnitude_threshold`) pixels. Normalized to sum 1; the
+/// signature has `orientation_bins + 1` entries. Returns an empty
+/// signature for images smaller than 3x3.
+Signature EdgeOrientationHistogram(const Image& image,
+                                   int orientation_bins = 8,
+                                   double magnitude_threshold = 32.0);
+
+/// Fraction of pixels whose Sobel gradient magnitude reaches
+/// `magnitude_threshold` — a single-number busyness measure.
+double EdgeDensity(const Image& image, double magnitude_threshold = 32.0);
+
+}  // namespace mmdb::features
+
+#endif  // MMDB_FEATURES_TEXTURE_H_

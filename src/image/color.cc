@@ -1,0 +1,128 @@
+#include "image/color.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mmdb {
+
+std::string Rgb::ToHexString() const {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+Hsv RgbToHsv(const Rgb& rgb) {
+  const double r = rgb.r / 255.0;
+  const double g = rgb.g / 255.0;
+  const double b = rgb.b / 255.0;
+  const double mx = std::max({r, g, b});
+  const double mn = std::min({r, g, b});
+  const double delta = mx - mn;
+
+  Hsv out;
+  out.v = mx;
+  out.s = mx > 0.0 ? delta / mx : 0.0;
+  if (delta <= 0.0) {
+    out.h = 0.0;
+  } else if (mx == r) {
+    out.h = 60.0 * std::fmod((g - b) / delta, 6.0);
+  } else if (mx == g) {
+    out.h = 60.0 * ((b - r) / delta + 2.0);
+  } else {
+    out.h = 60.0 * ((r - g) / delta + 4.0);
+  }
+  if (out.h < 0.0) out.h += 360.0;
+  return out;
+}
+
+Rgb HsvToRgb(const Hsv& hsv) {
+  const double c = hsv.v * hsv.s;
+  const double hp = hsv.h / 60.0;
+  const double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0, g = 0, b = 0;
+  if (hp < 1) {
+    r = c, g = x;
+  } else if (hp < 2) {
+    r = x, g = c;
+  } else if (hp < 3) {
+    g = c, b = x;
+  } else if (hp < 4) {
+    g = x, b = c;
+  } else if (hp < 5) {
+    r = x, b = c;
+  } else {
+    r = c, b = x;
+  }
+  const double m = hsv.v - c;
+  auto to8 = [](double v) {
+    return static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+  };
+  return Rgb(to8(r + m), to8(g + m), to8(b + m));
+}
+
+namespace {
+
+// D65 reference white in XYZ and the derived u'/v' chromaticity.
+constexpr double kXn = 0.95047;
+constexpr double kYn = 1.0;
+constexpr double kZn = 1.08883;
+const double kUnPrime = 4.0 * kXn / (kXn + 15.0 * kYn + 3.0 * kZn);
+const double kVnPrime = 9.0 * kYn / (kXn + 15.0 * kYn + 3.0 * kZn);
+
+double SrgbToLinear(uint8_t v8) {
+  const double c = v8 / 255.0;
+  return c <= 0.04045 ? c / 12.92 : std::pow((c + 0.055) / 1.055, 2.4);
+}
+
+uint8_t LinearToSrgb(double c) {
+  c = std::clamp(c, 0.0, 1.0);
+  const double srgb =
+      c <= 0.0031308 ? 12.92 * c : 1.055 * std::pow(c, 1.0 / 2.4) - 0.055;
+  return static_cast<uint8_t>(std::lround(std::clamp(srgb, 0.0, 1.0) * 255));
+}
+
+}  // namespace
+
+Luv RgbToLuv(const Rgb& rgb) {
+  const double r = SrgbToLinear(rgb.r);
+  const double g = SrgbToLinear(rgb.g);
+  const double b = SrgbToLinear(rgb.b);
+  const double x = 0.4124564 * r + 0.3575761 * g + 0.1804375 * b;
+  const double y = 0.2126729 * r + 0.7151522 * g + 0.0721750 * b;
+  const double z = 0.0193339 * r + 0.1191920 * g + 0.9503041 * b;
+
+  Luv out;
+  const double y_ratio = y / kYn;
+  constexpr double kEpsilon = 216.0 / 24389.0;  // (6/29)^3.
+  constexpr double kKappa = 24389.0 / 27.0;     // (29/3)^3.
+  out.l = y_ratio > kEpsilon ? 116.0 * std::cbrt(y_ratio) - 16.0
+                             : kKappa * y_ratio;
+  const double denom = x + 15.0 * y + 3.0 * z;
+  const double u_prime = denom > 1e-12 ? 4.0 * x / denom : kUnPrime;
+  const double v_prime = denom > 1e-12 ? 9.0 * y / denom : kVnPrime;
+  out.u = 13.0 * out.l * (u_prime - kUnPrime);
+  out.v = 13.0 * out.l * (v_prime - kVnPrime);
+  return out;
+}
+
+Rgb LuvToRgb(const Luv& luv) {
+  if (luv.l <= 0.0) return Rgb(0, 0, 0);
+  constexpr double kKappa = 24389.0 / 27.0;
+  const double y =
+      luv.l > 8.0 ? kYn * std::pow((luv.l + 16.0) / 116.0, 3.0)
+                  : kYn * luv.l / kKappa;
+  const double u_prime = luv.u / (13.0 * luv.l) + kUnPrime;
+  const double v_prime = luv.v / (13.0 * luv.l) + kVnPrime;
+  double x = 0.0, z = 0.0;
+  if (v_prime > 1e-12) {
+    x = y * 9.0 * u_prime / (4.0 * v_prime);
+    z = y * (12.0 - 3.0 * u_prime - 20.0 * v_prime) / (4.0 * v_prime);
+  }
+  const double r = 3.2404542 * x - 1.5371385 * y - 0.4985314 * z;
+  const double g = -0.9692660 * x + 1.8760108 * y + 0.0415560 * z;
+  const double b = 0.0556434 * x - 0.2040259 * y + 1.0572252 * z;
+  return Rgb(LinearToSrgb(r), LinearToSrgb(g), LinearToSrgb(b));
+}
+
+}  // namespace mmdb

@@ -1,0 +1,90 @@
+#ifndef MMDB_IMAGE_COLOR_H_
+#define MMDB_IMAGE_COLOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mmdb {
+
+/// A 24-bit RGB color, the pixel type of the image substrate and the
+/// parameter type of the Modify editing operation.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  constexpr Rgb() = default;
+  constexpr Rgb(uint8_t red, uint8_t green, uint8_t blue)
+      : r(red), g(green), b(blue) {}
+
+  friend constexpr bool operator==(const Rgb& a, const Rgb& b) {
+    return a.r == b.r && a.g == b.g && a.b == b.b;
+  }
+
+  /// Packs into 0x00RRGGBB for hashing/serialization.
+  constexpr uint32_t Packed() const {
+    return (static_cast<uint32_t>(r) << 16) | (static_cast<uint32_t>(g) << 8) |
+           static_cast<uint32_t>(b);
+  }
+  static constexpr Rgb FromPacked(uint32_t p) {
+    return Rgb(static_cast<uint8_t>(p >> 16), static_cast<uint8_t>(p >> 8),
+               static_cast<uint8_t>(p));
+  }
+
+  /// Renders as "#rrggbb".
+  std::string ToHexString() const;
+};
+
+/// HSV triple with h in [0, 360), s and v in [0, 1]; provided for the
+/// alternative quantizer mentioned in the paper (Section 3.1).
+struct Hsv {
+  double h = 0.0;
+  double s = 0.0;
+  double v = 0.0;
+};
+
+/// Converts RGB to HSV.
+Hsv RgbToHsv(const Rgb& rgb);
+
+/// Converts HSV back to RGB (inverse of `RgbToHsv` up to rounding).
+Rgb HsvToRgb(const Hsv& hsv);
+
+/// CIE L*u*v* triple (D65 white point): l in [0, 100], u roughly in
+/// [-134, 220], v roughly in [-140, 122]. The third color model the
+/// paper names for histogram quantization (Section 3.1).
+struct Luv {
+  double l = 0.0;
+  double u = 0.0;
+  double v = 0.0;
+};
+
+/// Converts sRGB to CIE L*u*v* (through linearization and XYZ).
+Luv RgbToLuv(const Rgb& rgb);
+
+/// Converts CIE L*u*v* back to sRGB, clamping out-of-gamut values
+/// (inverse of `RgbToLuv` up to 8-bit rounding for in-gamut colors).
+Rgb LuvToRgb(const Luv& luv);
+
+/// A small named palette used by the synthetic dataset generators; these
+/// are the saturated colors that dominate real flags, helmets, and road
+/// signs.
+namespace colors {
+inline constexpr Rgb kBlack{0, 0, 0};
+inline constexpr Rgb kWhite{255, 255, 255};
+inline constexpr Rgb kRed{204, 0, 0};
+inline constexpr Rgb kGreen{0, 140, 69};
+inline constexpr Rgb kBlue{0, 56, 168};
+inline constexpr Rgb kYellow{255, 204, 0};
+inline constexpr Rgb kOrange{243, 112, 33};
+inline constexpr Rgb kPurple{79, 38, 131};
+inline constexpr Rgb kMaroon{110, 38, 57};
+inline constexpr Rgb kNavy{12, 35, 64};
+inline constexpr Rgb kGold{200, 155, 60};
+inline constexpr Rgb kSilver{170, 175, 178};
+inline constexpr Rgb kSkyBlue{135, 206, 235};
+inline constexpr Rgb kGrassGreen{86, 125, 70};
+}  // namespace colors
+
+}  // namespace mmdb
+
+#endif  // MMDB_IMAGE_COLOR_H_

@@ -1,0 +1,146 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmdb {
+namespace draw {
+
+void FilledEllipse(Image& image, const Rect& box, Rgb color) {
+  if (box.Empty()) return;
+  const double cx = (box.x0 + box.x1 - 1) / 2.0;
+  const double cy = (box.y0 + box.y1 - 1) / 2.0;
+  const double rx = std::max(0.5, box.Width() / 2.0);
+  const double ry = std::max(0.5, box.Height() / 2.0);
+  const Rect clip = box.Intersect(image.Bounds());
+  for (int32_t y = clip.y0; y < clip.y1; ++y) {
+    const double dy = (y - cy) / ry;
+    for (int32_t x = clip.x0; x < clip.x1; ++x) {
+      const double dx = (x - cx) / rx;
+      if (dx * dx + dy * dy <= 1.0) image.At(x, y) = color;
+    }
+  }
+}
+
+void FilledCircle(Image& image, int32_t cx, int32_t cy, int32_t r, Rgb color) {
+  FilledEllipse(image, Rect(cx - r, cy - r, cx + r + 1, cy + r + 1), color);
+}
+
+void ThickLine(Image& image, int32_t x0, int32_t y0, int32_t x1, int32_t y1,
+               int32_t thickness, Rgb color) {
+  const double len = std::hypot(static_cast<double>(x1 - x0),
+                                static_cast<double>(y1 - y0));
+  const int steps = std::max(1, static_cast<int>(std::ceil(len)) * 2);
+  const int32_t half = std::max(0, thickness / 2);
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    const int32_t x = static_cast<int32_t>(std::lround(x0 + t * (x1 - x0)));
+    const int32_t y = static_cast<int32_t>(std::lround(y0 + t * (y1 - y0)));
+    image.Fill(Rect(x - half, y - half, x + half + 1, y + half + 1), color);
+  }
+}
+
+void FilledPolygon(Image& image, const std::vector<Point>& vertices,
+                   Rgb color) {
+  if (vertices.size() < 3) return;
+  int32_t ymin = vertices[0].y, ymax = vertices[0].y;
+  for (const Point& v : vertices) {
+    ymin = std::min(ymin, v.y);
+    ymax = std::max(ymax, v.y);
+  }
+  ymin = std::max(ymin, 0);
+  ymax = std::min(ymax, image.height() - 1);
+  const size_t n = vertices.size();
+  std::vector<double> xs;
+  for (int32_t y = ymin; y <= ymax; ++y) {
+    xs.clear();
+    const double yc = y + 0.5;  // Sample scanlines at pixel centers.
+    for (size_t i = 0; i < n; ++i) {
+      const Point& a = vertices[i];
+      const Point& b = vertices[(i + 1) % n];
+      if ((a.y <= yc && b.y > yc) || (b.y <= yc && a.y > yc)) {
+        const double t = (yc - a.y) / static_cast<double>(b.y - a.y);
+        xs.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const int32_t sx = std::max(0, static_cast<int32_t>(std::ceil(xs[i])));
+      const int32_t ex =
+          std::min(image.width() - 1,
+                   static_cast<int32_t>(std::floor(xs[i + 1])));
+      for (int32_t x = sx; x <= ex; ++x) image.At(x, y) = color;
+    }
+  }
+}
+
+void FilledTriangle(Image& image, const Rect& box, bool point_up, Rgb color) {
+  if (box.Empty()) return;
+  const int32_t midx = (box.x0 + box.x1) / 2;
+  std::vector<Point> pts;
+  if (point_up) {
+    pts = {{midx, box.y0}, {box.x1 - 1, box.y1 - 1}, {box.x0, box.y1 - 1}};
+  } else {
+    pts = {{box.x0, box.y0}, {box.x1 - 1, box.y0}, {midx, box.y1 - 1}};
+  }
+  FilledPolygon(image, pts, color);
+}
+
+void FilledOctagon(Image& image, const Rect& box, Rgb color) {
+  if (box.Empty()) return;
+  const int32_t w = box.Width(), h = box.Height();
+  // Corner cut = side/(1+sqrt 2) of the inscribed square approximation.
+  const int32_t cx = static_cast<int32_t>(w * 0.2929);
+  const int32_t cy = static_cast<int32_t>(h * 0.2929);
+  const std::vector<Point> pts = {
+      {box.x0 + cx, box.y0},     {box.x1 - 1 - cx, box.y0},
+      {box.x1 - 1, box.y0 + cy}, {box.x1 - 1, box.y1 - 1 - cy},
+      {box.x1 - 1 - cx, box.y1 - 1}, {box.x0 + cx, box.y1 - 1},
+      {box.x0, box.y1 - 1 - cy}, {box.x0, box.y0 + cy}};
+  FilledPolygon(image, pts, color);
+}
+
+void FilledDiamond(Image& image, const Rect& box, Rgb color) {
+  if (box.Empty()) return;
+  const int32_t midx = (box.x0 + box.x1) / 2;
+  const int32_t midy = (box.y0 + box.y1) / 2;
+  const std::vector<Point> pts = {{midx, box.y0},
+                                  {box.x1 - 1, midy},
+                                  {midx, box.y1 - 1},
+                                  {box.x0, midy}};
+  FilledPolygon(image, pts, color);
+}
+
+void HorizontalStripes(Image& image, const Rect& box,
+                       const std::vector<Rgb>& stripe_colors) {
+  if (box.Empty() || stripe_colors.empty()) return;
+  const size_t n = stripe_colors.size();
+  const int32_t h = box.Height();
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t y0 = box.y0 + static_cast<int32_t>(i * h / n);
+    const int32_t y1 = box.y0 + static_cast<int32_t>((i + 1) * h / n);
+    image.Fill(Rect(box.x0, y0, box.x1, y1), stripe_colors[i]);
+  }
+}
+
+void VerticalStripes(Image& image, const Rect& box,
+                     const std::vector<Rgb>& stripe_colors) {
+  if (box.Empty() || stripe_colors.empty()) return;
+  const size_t n = stripe_colors.size();
+  const int32_t w = box.Width();
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t x0 = box.x0 + static_cast<int32_t>(i * w / n);
+    const int32_t x1 = box.x0 + static_cast<int32_t>((i + 1) * w / n);
+    image.Fill(Rect(x0, box.y0, x1, box.y1), stripe_colors[i]);
+  }
+}
+
+void Cross(Image& image, const Rect& box, int32_t cross_x, int32_t cross_y,
+           int32_t arm, Rgb color) {
+  const int32_t half = std::max(1, arm / 2);
+  image.Fill(Rect(cross_x - half, box.y0, cross_x + half, box.y1), color);
+  image.Fill(Rect(box.x0, cross_y - half, box.x1, cross_y + half), color);
+}
+
+}  // namespace draw
+}  // namespace mmdb

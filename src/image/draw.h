@@ -1,0 +1,59 @@
+#ifndef MMDB_IMAGE_DRAW_H_
+#define MMDB_IMAGE_DRAW_H_
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace mmdb {
+
+/// Rasterization primitives used by the synthetic dataset generators
+/// (`src/datasets/`). All drawing is clipped to the image.
+namespace draw {
+
+/// Fills the axis-aligned ellipse inscribed in `box`.
+void FilledEllipse(Image& image, const Rect& box, Rgb color);
+
+/// Fills a circle centered at (cx, cy) with radius `r`.
+void FilledCircle(Image& image, int32_t cx, int32_t cy, int32_t r, Rgb color);
+
+/// Draws a 1px-stepped thick line from (x0,y0) to (x1,y1).
+void ThickLine(Image& image, int32_t x0, int32_t y0, int32_t x1, int32_t y1,
+               int32_t thickness, Rgb color);
+
+/// Fills the convex polygon with the given vertices (scanline fill; also
+/// correct for non-convex simple polygons via even-odd rule).
+void FilledPolygon(Image& image, const std::vector<Point>& vertices,
+                   Rgb color);
+
+/// Fills an upright isosceles triangle inscribed in `box`, apex at the top
+/// when `point_up`, at the bottom otherwise. (Road-sign shapes.)
+void FilledTriangle(Image& image, const Rect& box, bool point_up, Rgb color);
+
+/// Fills the regular octagon inscribed in `box`. (Stop-sign shape.)
+void FilledOctagon(Image& image, const Rect& box, Rgb color);
+
+/// Fills the diamond (45°-rotated square) inscribed in `box`. (Warning-sign
+/// shape.)
+void FilledDiamond(Image& image, const Rect& box, Rgb color);
+
+/// Draws horizontal stripes of equal height covering `box`, cycling through
+/// `stripe_colors` top to bottom.
+void HorizontalStripes(Image& image, const Rect& box,
+                       const std::vector<Rgb>& stripe_colors);
+
+/// Draws vertical stripes of equal width covering `box`, cycling left to
+/// right.
+void VerticalStripes(Image& image, const Rect& box,
+                     const std::vector<Rgb>& stripe_colors);
+
+/// Draws a Nordic-style cross over `box`: a vertical bar centered at
+/// `cross_x` and a horizontal bar centered at `cross_y`, both `arm`
+/// pixels thick.
+void Cross(Image& image, const Rect& box, int32_t cross_x, int32_t cross_y,
+           int32_t arm, Rgb color);
+
+}  // namespace draw
+}  // namespace mmdb
+
+#endif  // MMDB_IMAGE_DRAW_H_

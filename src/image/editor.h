@@ -1,0 +1,59 @@
+#ifndef MMDB_IMAGE_EDITOR_H_
+#define MMDB_IMAGE_EDITOR_H_
+
+#include <functional>
+
+#include "editops/edit_ops.h"
+#include "image/image.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Resolves an image object id to its pixels. Used by the editor to fetch
+/// Merge targets (and by query processors to fetch base images).
+using ImageResolver = std::function<Result<Image>(ObjectId)>;
+
+/// The instantiation engine: executes edit scripts against real pixels.
+///
+/// This is the expensive path the paper's RBM/BWM methods exist to avoid
+/// at query time — but the system still needs it to materialize an edited
+/// image for display, and the test suite uses it as the ground truth that
+/// the rule-derived histogram bounds must always contain.
+class Editor {
+ public:
+  /// `resolver` fetches Merge targets; may be empty if scripts contain no
+  /// non-null Merge (executing one then fails with InvalidArgument).
+  explicit Editor(ImageResolver resolver = nullptr);
+
+  /// Instantiates `script` starting from `base` (which must be the image
+  /// identified by `script.base_id`). Runs every op in order.
+  Result<Image> Instantiate(const Image& base, const EditScript& script) const;
+
+  /// Execution state: the working canvas plus the current Defined Region.
+  struct State {
+    Image canvas;
+    /// Current DR in canvas coordinates; always clipped to the canvas.
+    Rect defined_region;
+  };
+
+  /// Initial state for executing a script over `base`: the DR defaults to
+  /// the full canvas, per the operation model.
+  static State InitialState(Image base);
+
+  /// Applies a single operation to `state`. Exposed so tests and the rule
+  /// engine validation can single-step scripts.
+  Status ApplyOp(const EditOp& op, State* state) const;
+
+ private:
+  Status ApplyDefine(const DefineOp& op, State* state) const;
+  Status ApplyCombine(const CombineOp& op, State* state) const;
+  Status ApplyModify(const ModifyOp& op, State* state) const;
+  Status ApplyMutate(const MutateOp& op, State* state) const;
+  Status ApplyMerge(const MergeOp& op, State* state) const;
+
+  ImageResolver resolver_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_IMAGE_EDITOR_H_

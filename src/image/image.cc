@@ -1,0 +1,30 @@
+#include "image/image.h"
+
+namespace mmdb {
+
+Image::Image(int32_t width, int32_t height, Rgb fill)
+    : width_(width > 0 ? width : 0),
+      height_(height > 0 ? height : 0),
+      pixels_(static_cast<size_t>(width_) * height_, fill) {}
+
+void Image::Fill(const Rect& rect, Rgb color) {
+  const Rect r = rect.Intersect(Bounds());
+  for (int32_t y = r.y0; y < r.y1; ++y) {
+    for (int32_t x = r.x0; x < r.x1; ++x) {
+      At(x, y) = color;
+    }
+  }
+}
+
+int64_t Image::CountColor(Rgb color, const Rect& rect) const {
+  const Rect r = rect.Intersect(Bounds());
+  int64_t count = 0;
+  for (int32_t y = r.y0; y < r.y1; ++y) {
+    for (int32_t x = r.x0; x < r.x1; ++x) {
+      if (At(x, y) == color) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,84 @@
+#ifndef MMDB_IMAGE_IMAGE_H_
+#define MMDB_IMAGE_IMAGE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "image/color.h"
+#include "image/geometry.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// An in-memory RGB8 raster.
+///
+/// This is the binary representation of the MMDBMS's image objects, the
+/// output of the instantiation engine, and the input to color histogram
+/// extraction. Row-major storage, (0,0) at the top-left.
+class Image {
+ public:
+  /// Constructs an empty (0x0) image.
+  Image() = default;
+
+  /// Constructs a `width` x `height` image filled with `fill`.
+  Image(int32_t width, int32_t height, Rgb fill = Rgb());
+
+  Image(const Image&) = default;
+  Image& operator=(const Image&) = default;
+  Image(Image&&) noexcept = default;
+  Image& operator=(Image&&) noexcept = default;
+
+  int32_t width() const { return width_; }
+  int32_t height() const { return height_; }
+  /// Total number of pixels (the paper's `imagesize`).
+  int64_t PixelCount() const {
+    return static_cast<int64_t>(width_) * height_;
+  }
+  bool Empty() const { return PixelCount() == 0; }
+  Rect Bounds() const { return Rect::Full(width_, height_); }
+
+  /// Unchecked pixel access; (x, y) must be within bounds.
+  const Rgb& At(int32_t x, int32_t y) const {
+    assert(Bounds().Contains(x, y));
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  Rgb& At(int32_t x, int32_t y) {
+    assert(Bounds().Contains(x, y));
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  /// Bounds-checked pixel read; returns `fallback` outside the image.
+  Rgb GetOr(int32_t x, int32_t y, Rgb fallback) const {
+    return Bounds().Contains(x, y) ? At(x, y) : fallback;
+  }
+
+  /// Fills `rect` (clipped to the image) with `color`.
+  void Fill(const Rect& rect, Rgb color);
+  /// Fills the whole image.
+  void Fill(Rgb color) { Fill(Bounds(), color); }
+
+  /// Counts pixels equal to `color` within `rect` (clipped).
+  int64_t CountColor(Rgb color, const Rect& rect) const;
+  int64_t CountColor(Rgb color) const { return CountColor(color, Bounds()); }
+
+  /// Raw row-major pixel storage.
+  const std::vector<Rgb>& pixels() const { return pixels_; }
+  std::vector<Rgb>& pixels() { return pixels_; }
+
+  /// Exact pixel-wise equality (dimensions and contents).
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.pixels_ == b.pixels_;
+  }
+
+ private:
+  int32_t width_ = 0;
+  int32_t height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_IMAGE_IMAGE_H_

@@ -1,0 +1,225 @@
+#include "image/ppm_io.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mmdb {
+
+namespace {
+
+/// Incremental tokenizer over PPM header/text bodies that skips whitespace
+/// and `#` comments, per the Netpbm specification.
+class PpmScanner {
+ public:
+  explicit PpmScanner(const std::string& data) : data_(data) {}
+
+  /// Skips whitespace and comments; returns false at end of input.
+  bool SkipSpace() {
+    while (pos_ < data_.size()) {
+      const char c = data_[pos_];
+      if (c == '#') {
+        while (pos_ < data_.size() && data_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Reads a non-negative decimal integer.
+  Result<int64_t> NextInt() {
+    if (!SkipSpace()) return Status::Corruption("ppm: unexpected end of data");
+    if (!std::isdigit(static_cast<unsigned char>(data_[pos_]))) {
+      return Status::Corruption("ppm: expected integer");
+    }
+    int64_t value = 0;
+    while (pos_ < data_.size() &&
+           std::isdigit(static_cast<unsigned char>(data_[pos_]))) {
+      value = value * 10 + (data_[pos_] - '0');
+      if (value > (int64_t{1} << 40)) {
+        return Status::Corruption("ppm: integer overflow in header");
+      }
+      ++pos_;
+    }
+    return value;
+  }
+
+  /// Consumes exactly one whitespace byte (the separator before P6 raster
+  /// data).
+  Status ConsumeOneWhitespace() {
+    if (pos_ >= data_.size() ||
+        !std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+      return Status::Corruption("ppm: missing raster separator");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodePpm(const Image& image, PpmFormat format) {
+  std::string out;
+  const int64_t n = image.PixelCount();
+  if (format == PpmFormat::kBinary) {
+    out.reserve(32 + static_cast<size_t>(n) * 3);
+    out += "P6\n";
+    out += std::to_string(image.width()) + " " +
+           std::to_string(image.height()) + "\n255\n";
+    for (const Rgb& p : image.pixels()) {
+      out.push_back(static_cast<char>(p.r));
+      out.push_back(static_cast<char>(p.g));
+      out.push_back(static_cast<char>(p.b));
+    }
+    return out;
+  }
+  std::ostringstream os;
+  os << "P3\n"
+     << image.width() << " " << image.height() << "\n255\n";
+  int on_line = 0;
+  for (const Rgb& p : image.pixels()) {
+    os << static_cast<int>(p.r) << ' ' << static_cast<int>(p.g) << ' '
+       << static_cast<int>(p.b);
+    // Netpbm recommends lines no longer than 70 chars; 4 triples fit.
+    if (++on_line == 4) {
+      os << '\n';
+      on_line = 0;
+    } else {
+      os << ' ';
+    }
+  }
+  if (on_line != 0) os << '\n';
+  return os.str();
+}
+
+std::string EncodePgm(const Image& image, PpmFormat format) {
+  auto luma = [](const Rgb& p) {
+    return static_cast<uint8_t>(
+        std::lround(0.299 * p.r + 0.587 * p.g + 0.114 * p.b));
+  };
+  if (format == PpmFormat::kBinary) {
+    std::string out;
+    out.reserve(32 + static_cast<size_t>(image.PixelCount()));
+    out += "P5\n";
+    out += std::to_string(image.width()) + " " +
+           std::to_string(image.height()) + "\n255\n";
+    for (const Rgb& p : image.pixels()) {
+      out.push_back(static_cast<char>(luma(p)));
+    }
+    return out;
+  }
+  std::ostringstream os;
+  os << "P2\n" << image.width() << " " << image.height() << "\n255\n";
+  int on_line = 0;
+  for (const Rgb& p : image.pixels()) {
+    os << static_cast<int>(luma(p));
+    if (++on_line == 12) {
+      os << '\n';
+      on_line = 0;
+    } else {
+      os << ' ';
+    }
+  }
+  if (on_line != 0) os << '\n';
+  return os.str();
+}
+
+Result<Image> DecodePpm(const std::string& data) {
+  if (data.size() < 2 || data[0] != 'P') {
+    return Status::Corruption("ppm: missing magic number");
+  }
+  const char kind = data[1];
+  if (kind != '2' && kind != '3' && kind != '5' && kind != '6') {
+    return Status::NotSupported(std::string("ppm: unsupported magic P") +
+                                kind);
+  }
+  const bool grayscale = kind == '2' || kind == '5';
+  const int channels = grayscale ? 1 : 3;
+  // Parse the header after the 2-byte magic.
+  const std::string rest = data.substr(2);
+  PpmScanner s(rest);
+  MMDB_ASSIGN_OR_RETURN(int64_t width, s.NextInt());
+  MMDB_ASSIGN_OR_RETURN(int64_t height, s.NextInt());
+  MMDB_ASSIGN_OR_RETURN(int64_t maxval, s.NextInt());
+  if (width < 0 || height < 0 || width > 1 << 20 || height > 1 << 20) {
+    return Status::Corruption("ppm: implausible dimensions");
+  }
+  if (maxval < 1 || maxval > 255) {
+    return Status::InvalidArgument("ppm: only maxval in [1,255] supported");
+  }
+  Image image(static_cast<int32_t>(width), static_cast<int32_t>(height));
+  const int64_t samples = width * height * channels;
+  if (kind == '3' || kind == '2') {
+    for (int64_t i = 0; i < samples; ++i) {
+      MMDB_ASSIGN_OR_RETURN(int64_t v, s.NextInt());
+      if (v > maxval) return Status::Corruption("ppm: sample above maxval");
+      const int64_t pix = i / channels;
+      Rgb& p = image.pixels()[static_cast<size_t>(pix)];
+      const uint8_t byte = static_cast<uint8_t>(v * 255 / maxval);
+      if (grayscale) {
+        p = Rgb(byte, byte, byte);
+      } else if (i % 3 == 0) {
+        p.r = byte;
+      } else if (i % 3 == 1) {
+        p.g = byte;
+      } else {
+        p.b = byte;
+      }
+    }
+    return image;
+  }
+  // P5/P6: one whitespace byte then raw raster.
+  MMDB_RETURN_IF_ERROR(s.ConsumeOneWhitespace());
+  const size_t raster_start = 2 + s.pos();
+  if (data.size() - raster_start < static_cast<size_t>(samples)) {
+    return Status::Corruption("ppm: truncated raster");
+  }
+  auto scale = [maxval](uint8_t v) {
+    return static_cast<uint8_t>(static_cast<int64_t>(v) * 255 / maxval);
+  };
+  for (int64_t pix = 0; pix < width * height; ++pix) {
+    const size_t off =
+        raster_start + static_cast<size_t>(pix) * channels;
+    Rgb& p = image.pixels()[static_cast<size_t>(pix)];
+    if (grayscale) {
+      const uint8_t g = scale(static_cast<uint8_t>(data[off]));
+      p = Rgb(g, g, g);
+    } else {
+      p.r = scale(static_cast<uint8_t>(data[off]));
+      p.g = scale(static_cast<uint8_t>(data[off + 1]));
+      p.b = scale(static_cast<uint8_t>(data[off + 2]));
+    }
+  }
+  return image;
+}
+
+Status WritePpmFile(const Image& image, const std::string& path,
+                    PpmFormat format) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const std::string data = EncodePpm(image, format);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Image> ReadPpmFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DecodePpm(buf.str());
+}
+
+}  // namespace mmdb

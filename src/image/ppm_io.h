@@ -1,0 +1,46 @@
+#ifndef MMDB_IMAGE_PPM_IO_H_
+#define MMDB_IMAGE_PPM_IO_H_
+
+#include <string>
+
+#include "image/image.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Codec for the Netpbm PPM formats (text `P3` and binary `P6`).
+///
+/// The paper's prototype used the pbmplus package to move images through
+/// the text-based ppm format; this module is our from-scratch equivalent,
+/// so any image in the system can be exported for inspection and external
+/// rasters can be ingested.
+enum class PpmFormat {
+  kText,    // "P3": ASCII decimal samples.
+  kBinary,  // "P6": raw bytes.
+};
+
+/// Serializes `image` in the given PPM format. Maxval is always 255.
+std::string EncodePpm(const Image& image, PpmFormat format);
+
+/// Parses a PPM (`P3` or `P6`) or PGM (`P2` or `P5`) byte buffer —
+/// grayscale samples expand to grey RGB pixels. Comments (`#`) are
+/// honored in headers. Returns Corruption on malformed input,
+/// NotSupported for other Netpbm magic numbers, and InvalidArgument for
+/// maxval outside [1, 255].
+Result<Image> DecodePpm(const std::string& data);
+
+/// Serializes `image` as a PGM (`P5` binary or `P2` text) grayscale
+/// raster using Rec. 601 luma — the lossy export for grayscale
+/// consumers.
+std::string EncodePgm(const Image& image, PpmFormat format);
+
+/// Writes `image` to `path`. Binary format unless `format` says otherwise.
+Status WritePpmFile(const Image& image, const std::string& path,
+                    PpmFormat format = PpmFormat::kBinary);
+
+/// Reads a PPM image from `path`.
+Result<Image> ReadPpmFile(const std::string& path);
+
+}  // namespace mmdb
+
+#endif  // MMDB_IMAGE_PPM_IO_H_

@@ -1,0 +1,37 @@
+#include "index/histogram_index.h"
+
+namespace mmdb {
+
+HistogramIndex::HistogramIndex(int32_t bins)
+    : bins_(bins), tree_(static_cast<size_t>(bins)) {}
+
+Status HistogramIndex::Insert(ObjectId id, const ColorHistogram& histogram) {
+  if (histogram.BinCount() != bins_) {
+    return Status::InvalidArgument("histogram arity mismatch");
+  }
+  return tree_.Insert(HyperRect::Point(histogram.Normalized()), id);
+}
+
+Result<std::vector<ObjectId>> HistogramIndex::RangeSearch(
+    const RangeQuery& query) const {
+  if (query.bin < 0 || query.bin >= bins_) {
+    return Status::InvalidArgument("query bin out of range");
+  }
+  // All dimensions unconstrained except the queried bin.
+  HyperRect window;
+  window.min.assign(static_cast<size_t>(bins_), 0.0);
+  window.max.assign(static_cast<size_t>(bins_), 1.0);
+  window.min[static_cast<size_t>(query.bin)] = query.min_fraction;
+  window.max[static_cast<size_t>(query.bin)] = query.max_fraction;
+  return tree_.RangeSearch(window);
+}
+
+Result<std::vector<std::pair<ObjectId, double>>> HistogramIndex::Knn(
+    const ColorHistogram& query, size_t k) const {
+  if (query.BinCount() != bins_) {
+    return Status::InvalidArgument("histogram arity mismatch");
+  }
+  return tree_.Knn(query.Normalized(), k);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,55 @@
+#ifndef MMDB_INDEX_HISTOGRAM_INDEX_H_
+#define MMDB_INDEX_HISTOGRAM_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/query.h"
+#include "index/rtree.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// The conventional access path the paper describes in Section 4's
+/// opening: binary-image histogram signatures organized in a
+/// multidimensional index (an R-tree) so range queries prune whole
+/// regions of histogram space without touching each image.
+///
+/// Only conventionally stored images are indexable this way — edited
+/// images have no extracted signature, which is exactly why the paper
+/// needs RBM/BWM. The index therefore complements, not replaces, those
+/// methods.
+class HistogramIndex {
+ public:
+  /// `bins` is the quantizer's bin count (index dimensionality).
+  explicit HistogramIndex(int32_t bins);
+
+  /// Indexes the signature of binary image `id`.
+  Status Insert(ObjectId id, const ColorHistogram& histogram);
+
+  /// Removes a previously indexed signature (point key + id).
+  Status Remove(const HyperRect& point, ObjectId id) {
+    return tree_.Remove(point, id);
+  }
+
+  /// Ids of indexed images that may satisfy `query` (fraction of `bin` in
+  /// [min, max]); exact for point signatures.
+  Result<std::vector<ObjectId>> RangeSearch(const RangeQuery& query) const;
+
+  /// The k indexed images nearest to `query` by L2 distance over
+  /// normalized histograms.
+  Result<std::vector<std::pair<ObjectId, double>>> Knn(
+      const ColorHistogram& query, size_t k) const;
+
+  size_t Size() const { return tree_.Size(); }
+  const RTree& tree() const { return tree_; }
+
+ private:
+  int32_t bins_;
+  RTree tree_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_HISTOGRAM_INDEX_H_

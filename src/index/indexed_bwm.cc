@@ -1,0 +1,80 @@
+#include "index/indexed_bwm.h"
+
+#include <set>
+
+#include "core/bounds.h"
+
+namespace mmdb {
+
+IndexedBwmQueryProcessor::IndexedBwmQueryProcessor(
+    const AugmentedCollection* collection, const BwmIndex* bwm_index,
+    const RuleEngine* engine, const HistogramIndex* histogram_index)
+    : collection_(collection),
+      bwm_index_(bwm_index),
+      engine_(engine),
+      histogram_index_(histogram_index),
+      resolver_(collection->MakeTargetResolver(*engine)) {}
+
+Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
+    const RangeQuery& query) const {
+  QueryResult result;
+
+  // One index probe answers the binary side for every cluster at once.
+  MMDB_ASSIGN_OR_RETURN(std::vector<ObjectId> matching_binaries,
+                        histogram_index_->RangeSearch(query));
+  const std::set<ObjectId> satisfied(matching_binaries.begin(),
+                                     matching_binaries.end());
+  result.stats.binary_images_checked =
+      static_cast<int64_t>(matching_binaries.size());
+
+  auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    const EditedImageInfo* edited = collection_->FindEdited(edited_id);
+    if (edited == nullptr) {
+      return Status::Corruption("BWM index references missing edited image " +
+                                std::to_string(edited_id));
+    }
+    const BinaryImageInfo* base =
+        collection_->FindBinary(edited->script.base_id);
+    if (base == nullptr) {
+      return Status::Corruption("edited image " + std::to_string(edited_id) +
+                                " references missing base");
+    }
+    MMDB_ASSIGN_OR_RETURN(
+        FractionBounds bounds,
+        ComputeBounds(*engine_, edited->script, query.bin,
+                      base->histogram.Count(query.bin), base->width,
+                      base->height, resolver_));
+    ++result.stats.edited_images_bounded;
+    result.stats.rules_applied +=
+        static_cast<int64_t>(edited->script.ops.size());
+    if (bounds.Overlaps(query.min_fraction, query.max_fraction)) {
+      result.ids.push_back(edited_id);
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [base_id, edited_ids] : bwm_index_->main_map()) {
+    if (satisfied.count(base_id)) {
+      result.ids.push_back(base_id);
+      result.ids.insert(result.ids.end(), edited_ids.begin(),
+                        edited_ids.end());
+      result.stats.edited_images_skipped +=
+          static_cast<int64_t>(edited_ids.size());
+    } else {
+      for (ObjectId edited_id : edited_ids) {
+        MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+      }
+    }
+  }
+  // Satisfied binaries that are not cluster bases (e.g. materialized
+  // variants) still belong in the answer.
+  for (ObjectId id : matching_binaries) {
+    if (!bwm_index_->main_map().count(id)) result.ids.push_back(id);
+  }
+  for (ObjectId edited_id : bwm_index_->Unclassified()) {
+    MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+  }
+  return result;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,42 @@
+#ifndef MMDB_INDEX_INDEXED_BWM_H_
+#define MMDB_INDEX_INDEXED_BWM_H_
+
+#include "core/bwm.h"
+#include "core/collection.h"
+#include "core/query.h"
+#include "core/rules.h"
+#include "index/histogram_index.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// BWM combined with the conventional access path the paper's Section 4
+/// opens with: binary-image signatures live in a multidimensional index
+/// (the R-tree), so the per-cluster "does the base satisfy the query?"
+/// test becomes one index range search instead of a full histogram scan.
+/// The edited images still flow through the Main/Unclassified logic of
+/// Figure 2; result sets are identical to the plain `BwmQueryProcessor`
+/// (enforced by the tests).
+class IndexedBwmQueryProcessor {
+ public:
+  /// `index` must contain exactly the collection's binary images. All
+  /// referents must outlive the processor.
+  IndexedBwmQueryProcessor(const AugmentedCollection* collection,
+                           const BwmIndex* bwm_index,
+                           const RuleEngine* engine,
+                           const HistogramIndex* histogram_index);
+
+  /// Runs `query` using the index for the binary-image side.
+  Result<QueryResult> RunRange(const RangeQuery& query) const;
+
+ private:
+  const AugmentedCollection* collection_;
+  const BwmIndex* bwm_index_;
+  const RuleEngine* engine_;
+  const HistogramIndex* histogram_index_;
+  TargetBoundsResolver resolver_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_INDEXED_BWM_H_

@@ -1,0 +1,525 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace mmdb {
+
+HyperRect HyperRect::Point(std::vector<double> point) {
+  HyperRect rect;
+  rect.max = point;
+  rect.min = std::move(point);
+  return rect;
+}
+
+bool HyperRect::Intersects(const HyperRect& other) const {
+  for (size_t d = 0; d < Dims(); ++d) {
+    if (min[d] > other.max[d] || max[d] < other.min[d]) return false;
+  }
+  return true;
+}
+
+bool HyperRect::Contains(const HyperRect& other) const {
+  for (size_t d = 0; d < Dims(); ++d) {
+    if (other.min[d] < min[d] || other.max[d] > max[d]) return false;
+  }
+  return true;
+}
+
+double HyperRect::Volume() const {
+  double volume = 1.0;
+  for (size_t d = 0; d < Dims(); ++d) volume *= (max[d] - min[d]);
+  return volume;
+}
+
+void HyperRect::Enclose(const HyperRect& other) {
+  for (size_t d = 0; d < Dims(); ++d) {
+    min[d] = std::min(min[d], other.min[d]);
+    max[d] = std::max(max[d], other.max[d]);
+  }
+}
+
+double HyperRect::Enlargement(const HyperRect& other) const {
+  double enlarged = 1.0;
+  for (size_t d = 0; d < Dims(); ++d) {
+    enlarged *= std::max(max[d], other.max[d]) - std::min(min[d], other.min[d]);
+  }
+  return enlarged - Volume();
+}
+
+double HyperRect::MinDistSquared(const std::vector<double>& point) const {
+  double sum = 0.0;
+  for (size_t d = 0; d < Dims(); ++d) {
+    double diff = 0.0;
+    if (point[d] < min[d]) {
+      diff = min[d] - point[d];
+    } else if (point[d] > max[d]) {
+      diff = point[d] - max[d];
+    }
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+RTree::RTree(size_t dims, size_t max_entries)
+    : dims_(dims),
+      max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries_ / 2)),
+      root_(std::make_unique<Node>()) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+HyperRect RTree::NodeMbr(const Node& node) {
+  HyperRect mbr = node.entries.front().rect;
+  for (size_t i = 1; i < node.entries.size(); ++i) {
+    mbr.Enclose(node.entries[i].rect);
+  }
+  return mbr;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const HyperRect& rect,
+                               std::vector<Node*>* path) const {
+  path->push_back(node);
+  while (!node->is_leaf) {
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (Entry& entry : node->entries) {
+      const double enlargement = entry.rect.Enlargement(rect);
+      const double volume = entry.rect.Volume();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = &entry;
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    best->rect.Enclose(rect);
+    node = best->child.get();
+    path->push_back(node);
+  }
+  return node;
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  // Quadratic pick-seeds: the pair wasting the most volume.
+  size_t seed_a = 0, seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      HyperRect combined = entries[i].rect;
+      combined.Enclose(entries[j].rect);
+      const double waste = combined.Volume() - entries[i].rect.Volume() -
+                           entries[j].rect.Volume();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  node->entries.push_back(std::move(entries[seed_a]));
+  sibling->entries.push_back(std::move(entries[seed_b]));
+  HyperRect mbr_a = node->entries.front().rect;
+  HyperRect mbr_b = sibling->entries.front().rect;
+
+  std::vector<size_t> remaining;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != seed_a && i != seed_b) remaining.push_back(i);
+  }
+
+  while (!remaining.empty()) {
+    // If one group must take everything to reach min fill, do so.
+    if (node->entries.size() + remaining.size() == min_entries_) {
+      for (size_t i : remaining) {
+        mbr_a.Enclose(entries[i].rect);
+        node->entries.push_back(std::move(entries[i]));
+      }
+      break;
+    }
+    if (sibling->entries.size() + remaining.size() == min_entries_) {
+      for (size_t i : remaining) {
+        mbr_b.Enclose(entries[i].rect);
+        sibling->entries.push_back(std::move(entries[i]));
+      }
+      break;
+    }
+    // Pick-next: the entry with the greatest preference for one group.
+    size_t pick_pos = 0;
+    double best_diff = -1.0;
+    double pick_cost_a = 0.0, pick_cost_b = 0.0;
+    for (size_t pos = 0; pos < remaining.size(); ++pos) {
+      const double cost_a = mbr_a.Enlargement(entries[remaining[pos]].rect);
+      const double cost_b = mbr_b.Enlargement(entries[remaining[pos]].rect);
+      const double diff = std::fabs(cost_a - cost_b);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick_pos = pos;
+        pick_cost_a = cost_a;
+        pick_cost_b = cost_b;
+      }
+    }
+    const size_t chosen = remaining[pick_pos];
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick_pos));
+    const bool to_a =
+        pick_cost_a < pick_cost_b ||
+        (pick_cost_a == pick_cost_b &&
+         node->entries.size() <= sibling->entries.size());
+    if (to_a) {
+      mbr_a.Enclose(entries[chosen].rect);
+      node->entries.push_back(std::move(entries[chosen]));
+    } else {
+      mbr_b.Enclose(entries[chosen].rect);
+      sibling->entries.push_back(std::move(entries[chosen]));
+    }
+  }
+  return sibling;
+}
+
+Result<RTree> RTree::BulkLoad(size_t dims, std::vector<LoadEntry> entries,
+                              size_t max_entries) {
+  RTree tree(dims, max_entries);
+  for (const LoadEntry& entry : entries) {
+    if (entry.rect.Dims() != dims || entry.rect.max.size() != dims) {
+      return Status::InvalidArgument("rtree bulk load: dims mismatch");
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      if (entry.rect.min[d] > entry.rect.max[d]) {
+        return Status::InvalidArgument("rtree bulk load: inverted rect");
+      }
+    }
+  }
+  if (entries.empty()) return tree;
+  tree.size_ = entries.size();
+
+  // Current level of nodes being packed, starting with the leaf entries.
+  std::vector<Entry> level;
+  level.reserve(entries.size());
+  for (LoadEntry& entry : entries) {
+    Entry leaf_entry;
+    leaf_entry.rect = std::move(entry.rect);
+    leaf_entry.id = entry.id;
+    level.push_back(std::move(leaf_entry));
+  }
+
+  const size_t cap = tree.max_entries_;
+  const size_t min_fill = tree.min_entries_;
+  bool is_leaf_level = true;
+  size_t sort_dim = 0;
+  while (level.size() > cap || is_leaf_level) {
+    // Sort by MBR center along the cycling dimension.
+    std::sort(level.begin(), level.end(),
+              [sort_dim](const Entry& a, const Entry& b) {
+                return a.rect.min[sort_dim] + a.rect.max[sort_dim] <
+                       b.rect.min[sort_dim] + b.rect.max[sort_dim];
+              });
+    sort_dim = (sort_dim + 1) % dims;
+
+    // Chunk into nodes of `cap` entries; rebalance the tail so no node
+    // (other than a lone root) falls below the minimum fill.
+    std::vector<size_t> chunk_sizes;
+    size_t remaining = level.size();
+    while (remaining > 0) {
+      size_t take = std::min(cap, remaining);
+      if (remaining - take > 0 && remaining - take < min_fill) {
+        // Leave enough for the final chunk to reach min fill.
+        take = remaining - min_fill;
+      }
+      chunk_sizes.push_back(take);
+      remaining -= take;
+    }
+
+    std::vector<Entry> parents;
+    parents.reserve(chunk_sizes.size());
+    size_t pos = 0;
+    for (size_t chunk : chunk_sizes) {
+      auto node = std::make_unique<Node>();
+      node->is_leaf = is_leaf_level;
+      node->entries.reserve(chunk);
+      for (size_t i = 0; i < chunk; ++i) {
+        node->entries.push_back(std::move(level[pos + i]));
+      }
+      pos += chunk;
+      Entry parent;
+      parent.rect = NodeMbr(*node);
+      parent.child = std::move(node);
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+    is_leaf_level = false;
+  }
+
+  if (level.size() == 1) {
+    tree.root_ = std::move(level.front().child);
+  } else {
+    auto root = std::make_unique<Node>();
+    root->is_leaf = false;
+    root->entries = std::move(level);
+    tree.root_ = std::move(root);
+  }
+  return tree;
+}
+
+Status RTree::Insert(const HyperRect& rect, ObjectId id) {
+  if (rect.Dims() != dims_ || rect.max.size() != dims_) {
+    return Status::InvalidArgument("rtree: rect dimensionality mismatch");
+  }
+  for (size_t d = 0; d < dims_; ++d) {
+    if (rect.min[d] > rect.max[d]) {
+      return Status::InvalidArgument("rtree: inverted rectangle");
+    }
+  }
+  std::vector<Node*> path;
+  Node* leaf = ChooseLeaf(root_.get(), rect, &path);
+  Entry entry;
+  entry.rect = rect;
+  entry.id = id;
+  leaf->entries.push_back(std::move(entry));
+  ++size_;
+
+  // Walk back up, splitting overfull nodes.
+  for (size_t level = path.size(); level-- > 0;) {
+    Node* node = path[level];
+    if (node->entries.size() <= max_entries_) break;
+    std::unique_ptr<Node> sibling = SplitNode(node);
+    if (level == 0) {
+      // Root split: grow the tree.
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      Entry left;
+      left.rect = NodeMbr(*node);
+      left.child = std::move(root_);
+      Entry right;
+      right.rect = NodeMbr(*sibling);
+      right.child = std::move(sibling);
+      new_root->entries.push_back(std::move(left));
+      new_root->entries.push_back(std::move(right));
+      root_ = std::move(new_root);
+      break;
+    }
+    // Fix the parent: refresh this child's MBR and add the sibling.
+    Node* parent = path[level - 1];
+    for (Entry& parent_entry : parent->entries) {
+      if (parent_entry.child.get() == node) {
+        parent_entry.rect = NodeMbr(*node);
+        break;
+      }
+    }
+    Entry sibling_entry;
+    sibling_entry.rect = NodeMbr(*sibling);
+    sibling_entry.child = std::move(sibling);
+    parent->entries.push_back(std::move(sibling_entry));
+  }
+  return Status::OK();
+}
+
+bool RTree::FindLeaf(Node* node, const HyperRect& rect, ObjectId id,
+                     std::vector<Node*>* path, size_t* entry_index) {
+  path->push_back(node);
+  if (node->is_leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id && node->entries[i].rect == rect) {
+        *entry_index = i;
+        return true;
+      }
+    }
+    path->pop_back();
+    return false;
+  }
+  for (Entry& entry : node->entries) {
+    if (!entry.rect.Contains(rect)) continue;
+    if (FindLeaf(entry.child.get(), rect, id, path, entry_index)) {
+      return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+void RTree::CondenseTree(std::vector<Node*>& path,
+                         std::vector<Entry>* orphans) {
+  // Walk from the leaf upward: dissolve underfull non-root nodes into
+  // the orphan list, refresh surviving ancestors' MBRs.
+  for (size_t level = path.size(); level-- > 1;) {
+    Node* node = path[level];
+    Node* parent = path[level - 1];
+    // Locate this child in its parent.
+    size_t child_pos = 0;
+    for (; child_pos < parent->entries.size(); ++child_pos) {
+      if (parent->entries[child_pos].child.get() == node) break;
+    }
+    if (node->entries.size() < min_entries_) {
+      // Orphan the node's entries and drop it from the parent. Orphaned
+      // subtrees keep their depth by reinsertion at entry granularity:
+      // leaf entries reinsert directly; internal entries reinsert their
+      // transitive leaf entries (simple and correct for our fan-outs).
+      std::vector<Node*> stack = {node};
+      while (!stack.empty()) {
+        Node* current = stack.back();
+        stack.pop_back();
+        for (Entry& entry : current->entries) {
+          if (current->is_leaf) {
+            orphans->push_back(std::move(entry));
+          } else {
+            stack.push_back(entry.child.get());
+          }
+        }
+        // Children are owned by their entries; keep them alive until the
+        // parent entry is destroyed below.
+      }
+      parent->entries.erase(parent->entries.begin() +
+                            static_cast<ptrdiff_t>(child_pos));
+    } else if (child_pos < parent->entries.size()) {
+      parent->entries[child_pos].rect = NodeMbr(*node);
+    }
+  }
+  // Shrink the root: a non-leaf root with a single child is replaced by
+  // that child; an empty non-leaf root becomes an empty leaf.
+  while (!root_->is_leaf && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries.front().child);
+    root_ = std::move(child);
+  }
+  if (!root_->is_leaf && root_->entries.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+}
+
+Status RTree::Remove(const HyperRect& rect, ObjectId id) {
+  if (rect.Dims() != dims_ || rect.max.size() != dims_) {
+    return Status::InvalidArgument("rtree: rect dimensionality mismatch");
+  }
+  std::vector<Node*> path;
+  size_t entry_index = 0;
+  if (!FindLeaf(root_.get(), rect, id, &path, &entry_index)) {
+    return Status::NotFound("rtree: no entry with id " + std::to_string(id));
+  }
+  Node* leaf = path.back();
+  leaf->entries.erase(leaf->entries.begin() +
+                      static_cast<ptrdiff_t>(entry_index));
+  --size_;
+
+  std::vector<Entry> orphans;
+  CondenseTree(path, &orphans);
+  // Orphans stayed logically present (size_ still counts them), but
+  // Insert() increments size_ again — compensate afterwards.
+  for (Entry& orphan : orphans) {
+    MMDB_RETURN_IF_ERROR(Insert(orphan.rect, orphan.id));
+  }
+  size_ -= orphans.size();
+  return Status::OK();
+}
+
+void RTree::RangeSearchNode(const Node& node, const HyperRect& query,
+                            std::vector<ObjectId>* out) const {
+  for (const Entry& entry : node.entries) {
+    if (!entry.rect.Intersects(query)) continue;
+    if (node.is_leaf) {
+      out->push_back(entry.id);
+    } else {
+      RangeSearchNode(*entry.child, query, out);
+    }
+  }
+}
+
+Result<std::vector<ObjectId>> RTree::RangeSearch(
+    const HyperRect& query) const {
+  if (query.Dims() != dims_ || query.max.size() != dims_) {
+    return Status::InvalidArgument("rtree: query dimensionality mismatch");
+  }
+  std::vector<ObjectId> out;
+  RangeSearchNode(*root_, query, &out);
+  return out;
+}
+
+Result<std::vector<std::pair<ObjectId, double>>> RTree::Knn(
+    const std::vector<double>& point, size_t k) const {
+  if (point.size() != dims_) {
+    return Status::InvalidArgument("rtree: point dimensionality mismatch");
+  }
+  // Best-first traversal over (min-distance, node-or-entry).
+  struct QueueItem {
+    double dist_sq;
+    const Node* node;     // Non-null for subtrees.
+    ObjectId id;          // Valid when node == nullptr.
+    bool operator>(const QueueItem& other) const {
+      return dist_sq > other.dist_sq;
+    }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      queue;
+  queue.push({0.0, root_.get(), kInvalidObjectId});
+  std::vector<std::pair<ObjectId, double>> out;
+  while (!queue.empty() && out.size() < k) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) {
+      out.emplace_back(item.id, std::sqrt(item.dist_sq));
+      continue;
+    }
+    for (const Entry& entry : item.node->entries) {
+      const double dist_sq = entry.rect.MinDistSquared(point);
+      if (item.node->is_leaf) {
+        queue.push({dist_sq, nullptr, entry.id});
+      } else {
+        queue.push({dist_sq, entry.child.get(), kInvalidObjectId});
+      }
+    }
+  }
+  return out;
+}
+
+size_t RTree::Height() const {
+  size_t height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++height;
+    node = node->entries.front().child.get();
+  }
+  return height;
+}
+
+Status RTree::CheckNode(const Node& node, size_t depth, size_t leaf_depth,
+                        bool is_root) const {
+  if (node.entries.size() > max_entries_) {
+    return Status::Internal("rtree: overfull node");
+  }
+  if (!is_root && node.entries.size() < min_entries_) {
+    return Status::Internal("rtree: underfull node");
+  }
+  if (node.is_leaf) {
+    if (depth != leaf_depth) {
+      return Status::Internal("rtree: leaves at different depths");
+    }
+    return Status::OK();
+  }
+  for (const Entry& entry : node.entries) {
+    if (entry.child == nullptr) {
+      return Status::Internal("rtree: internal entry without child");
+    }
+    if (!(entry.rect == NodeMbr(*entry.child)) &&
+        !entry.rect.Contains(NodeMbr(*entry.child))) {
+      return Status::Internal("rtree: MBR does not cover child");
+    }
+    MMDB_RETURN_IF_ERROR(
+        CheckNode(*entry.child, depth + 1, leaf_depth, false));
+  }
+  return Status::OK();
+}
+
+Status RTree::CheckInvariants() const {
+  if (size_ == 0) return Status::OK();
+  return CheckNode(*root_, 1, Height(), true);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,68 @@
+#ifndef MMDB_MMDB_H_
+#define MMDB_MMDB_H_
+
+/// Umbrella header for the mmdb library: a single include that exposes
+/// the public API a downstream application needs. Individual headers
+/// remain includable for finer-grained dependencies.
+///
+/// ```
+/// #include "mmdb.h"
+/// auto db = mmdb::MultimediaDatabase::Open().value();
+/// ```
+
+// Core database facade, query types, and processors.
+#include "core/bounds.h"
+#include "core/bwm.h"
+#include "core/collection.h"
+#include "core/database.h"
+#include "core/dominant.h"
+#include "core/histogram.h"
+#include "core/instantiate.h"
+#include "core/parallel.h"
+#include "core/quantizer.h"
+#include "core/query.h"
+#include "core/query_parser.h"
+#include "core/rbm.h"
+#include "core/rules.h"
+#include "core/similarity.h"
+
+// Image substrate and the editing-operation model.
+#include "editops/delta.h"
+#include "editops/dsl.h"
+#include "editops/edit_ops.h"
+#include "editops/optimize.h"
+#include "editops/serialize.h"
+#include "image/color.h"
+#include "image/draw.h"
+#include "image/editor.h"
+#include "image/geometry.h"
+#include "image/image.h"
+#include "image/ppm_io.h"
+
+// Indexing.
+#include "index/histogram_index.h"
+#include "index/indexed_bwm.h"
+#include "index/rtree.h"
+
+// Feature extraction beyond color.
+#include "features/shape.h"
+#include "features/signature.h"
+#include "features/texture.h"
+
+// Synthetic datasets, augmentation recipes, and workloads.
+#include "datasets/augment.h"
+#include "datasets/generators.h"
+#include "datasets/recipes.h"
+
+// Storage engine (only needed when embedding the disk backend directly).
+#include "storage/catalog.h"
+#include "storage/object_store.h"
+
+// Utilities.
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+#endif  // MMDB_MMDB_H_

@@ -1,0 +1,79 @@
+#ifndef MMDB_STORAGE_BLOB_STORE_H_
+#define MMDB_STORAGE_BLOB_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Key -> blob storage over the page file, used to persist image rasters
+/// (PPM-encoded), edit-script records, and catalog metadata.
+///
+/// On-disk layout:
+///  * page 0: header {magic, version, free_list_head, directory_head}
+///  * directory pages: chained fixed-slot arrays of
+///    {key u64, first_page u32, total_len u32} entries (key 0 = free slot)
+///  * blob pages: chained {next u32, payload_len u32, payload[4088]}
+///  * free pages: singly linked through their first 4 bytes
+///
+/// The directory is mirrored in memory at `Open` so lookups are O(log n)
+/// without I/O; reads and writes of blob payloads go through the buffer
+/// pool.
+class BlobStore {
+ public:
+  /// Opens the store over `pool` (whose disk file may be empty, in which
+  /// case the header is initialized). `pool` must outlive the store.
+  static Result<std::unique_ptr<BlobStore>> Open(BufferPool* pool);
+
+  /// Inserts `value` under `key` (key must be non-zero and absent).
+  Status Put(uint64_t key, const std::string& value);
+
+  /// Retrieves the blob stored under `key`.
+  Result<std::string> Get(uint64_t key) const;
+
+  /// Removes `key`, returning its pages to the free list.
+  Status Delete(uint64_t key);
+
+  bool Contains(uint64_t key) const { return directory_.count(key) > 0; }
+
+  /// All keys in ascending order.
+  std::vector<uint64_t> Keys() const;
+
+  size_t BlobCount() const { return directory_.size(); }
+
+  /// Writes every dirty page back to disk.
+  Status Flush();
+
+ private:
+  struct DirEntry {
+    PageId first_page = kInvalidPageId;
+    uint32_t total_len = 0;
+    PageId dir_page = kInvalidPageId;  // Directory page holding the slot.
+    uint32_t slot = 0;
+  };
+
+  explicit BlobStore(BufferPool* pool) : pool_(pool) {}
+
+  Status InitializeHeader();
+  Status LoadDirectory();
+  /// Allocates a page, preferring the free list.
+  Result<PageId> AllocPage();
+  /// Returns `id` to the free list.
+  Status FreePage(PageId id);
+  /// Finds (or creates) a free directory slot.
+  Result<DirEntry> ClaimDirectorySlot(uint64_t key, PageId first_page,
+                                      uint32_t total_len);
+
+  BufferPool* pool_;
+  std::map<uint64_t, DirEntry> directory_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_BLOB_STORE_H_

@@ -1,0 +1,196 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace mmdb {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity > 0 ? capacity : 1) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort writeback; errors surface earlier through FlushAll.
+  FlushAll().ok();
+}
+
+Result<size_t> BufferPool::PinFrame(PageId id, bool read_from_disk) {
+  if (const auto it = page_table_.find(id); it != page_table_.end()) {
+    const size_t frame_index = it->second;
+    Frame& frame = frames_[frame_index];
+    if (frame.pin_count == 0) {
+      // Leave the LRU list while pinned.
+      const auto pos = lru_pos_.find(frame_index);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+    }
+    ++frame.pin_count;
+    ++stats_.hits;
+    return frame_index;
+  }
+
+  ++stats_.misses;
+  size_t frame_index;
+  if (!free_frames_.empty()) {
+    frame_index = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    if (lru_.empty()) {
+      return Status::ResourceExhausted(
+          "buffer pool: all " + std::to_string(capacity_) +
+          " frames pinned");
+    }
+    frame_index = lru_.front();
+    MMDB_RETURN_IF_ERROR(EvictFrame(frame_index));
+  }
+
+  Frame& frame = frames_[frame_index];
+  frame.page_id = id;
+  frame.in_use = true;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.captured = false;
+  if (read_from_disk) {
+    const Status read = disk_->ReadPage(id, &frame.page);
+    if (!read.ok()) {
+      // Return the claimed frame so a failed fetch leaks nothing.
+      frame.in_use = false;
+      frame.pin_count = 0;
+      free_frames_.push_back(frame_index);
+      return read;
+    }
+  } else {
+    frame.page.Clear();
+  }
+  page_table_[id] = frame_index;
+  return frame_index;
+}
+
+Status BufferPool::EvictFrame(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  assert(frame.pin_count == 0);
+  ++stats_.evictions;
+  if (frame.dirty) {
+    ++stats_.writebacks;
+    MMDB_RETURN_IF_ERROR(NotifyWriteback());
+    MMDB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.page));
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  const auto pos = lru_pos_.find(frame_index);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  frame.in_use = false;
+  return Status::OK();
+}
+
+void BufferPool::TouchLru(size_t frame_index) {
+  const auto pos = lru_pos_.find(frame_index);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_back(frame_index);
+  lru_pos_[frame_index] = std::prev(lru_.end());
+}
+
+void BufferPool::Unpin(size_t frame_index, bool dirty) {
+  Frame& frame = frames_[frame_index];
+  assert(frame.pin_count > 0);
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pin_count == 0) TouchLru(frame_index);
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  MMDB_ASSIGN_OR_RETURN(size_t frame_index, PinFrame(id, /*read=*/true));
+  return PageGuard(this, frame_index, id);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  MMDB_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  MMDB_ASSIGN_OR_RETURN(size_t frame_index, PinFrame(id, /*read=*/false));
+  return PageGuard(this, frame_index, id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.in_use && frame.dirty) {
+      MMDB_RETURN_IF_ERROR(NotifyWriteback());
+      MMDB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.page));
+      frame.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::OnGuardWrite(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  if (frame.captured || !capture_hook_) return;
+  frame.captured = true;  // Set first: a failing hook must not re-fire.
+  const Status captured = capture_hook_(frame.page_id, frame.page);
+  if (!captured.ok() && capture_error_.ok()) capture_error_ = captured;
+}
+
+Status BufferPool::NotifyWriteback() {
+  if (!pre_writeback_hook_) return Status::OK();
+  return pre_writeback_hook_();
+}
+
+void BufferPool::BeginCaptureEpoch() {
+  for (Frame& frame : frames_) frame.captured = false;
+}
+
+Status BufferPool::TakeCaptureError() {
+  Status out = capture_error_;
+  capture_error_ = Status::OK();
+  return out;
+}
+
+void BufferPool::AbandonForTesting() {
+  for (Frame& frame : frames_) frame.dirty = false;
+}
+
+size_t BufferPool::PinnedCount() const {
+  size_t pinned = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.in_use && frame.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      frame_(other.frame_),
+      page_id_(other.page_id_),
+      dirty_(other.dirty_) {
+  other.pool_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, dirty_);
+    pool_ = nullptr;
+  }
+}
+
+}  // namespace mmdb

@@ -1,0 +1,64 @@
+#ifndef MMDB_STORAGE_CATALOG_H_
+#define MMDB_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "editops/edit_ops.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Kind of a stored image object.
+enum class ImageKind : uint8_t {
+  kBinary = 1,  // Conventional raster; pixels in the object store.
+  kEdited = 2,  // Sequence of editing operations referencing a base image.
+};
+
+/// A persisted catalog row describing one image object. For binary images
+/// the row carries the extracted histogram (counts) and dimensions so that
+/// reopening a database never re-runs feature extraction; for edited
+/// images the edit script is stored as its own object and the row only
+/// records the kind.
+struct CatalogRow {
+  ObjectId id = kInvalidObjectId;
+  ImageKind kind = ImageKind::kBinary;
+  int32_t width = 0;
+  int32_t height = 0;
+  std::vector<int64_t> histogram_counts;  // Binary images only.
+
+  friend bool operator==(const CatalogRow&, const CatalogRow&) = default;
+};
+
+/// Database-wide metadata persisted under a reserved object key.
+struct CatalogMeta {
+  uint64_t next_id = 1;
+  int32_t quantizer_divisions = 4;
+  /// ColorSpace enum value (0 = RGB, 1 = HSV).
+  uint8_t color_space = 0;
+
+  friend bool operator==(const CatalogMeta&, const CatalogMeta&) = default;
+};
+
+/// Versioned little-endian encodings.
+std::string EncodeCatalogRow(const CatalogRow& row);
+Result<CatalogRow> DecodeCatalogRow(const std::string& data);
+std::string EncodeCatalogMeta(const CatalogMeta& meta);
+Result<CatalogMeta> DecodeCatalogMeta(const std::string& data);
+
+/// Object-store key scheme: each image id owns a small key range so its
+/// raster / script / catalog row live under distinct keys, and key 1 is
+/// reserved for the database metadata.
+namespace catalog_keys {
+inline constexpr uint64_t kMetaKey = 1;
+inline uint64_t RasterKey(ObjectId id) { return id * 4 + 0; }
+inline uint64_t ScriptKey(ObjectId id) { return id * 4 + 1; }
+inline uint64_t RowKey(ObjectId id) { return id * 4 + 2; }
+/// First id whose key range clears the reserved keys.
+inline constexpr ObjectId kFirstObjectId = 2;
+}  // namespace catalog_keys
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_CATALOG_H_

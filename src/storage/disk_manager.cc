@@ -1,0 +1,98 @@
+#include "storage/disk_manager.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mmdb {
+
+namespace {
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+}  // namespace
+
+DiskManager::~DiskManager() { Close().ok(); }
+
+Status DiskManager::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("disk manager already open: " + path_);
+  }
+  // "r+b" keeps existing contents; fall back to "w+b" to create.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) return Errno("open", path);
+  file_ = f;
+  path_ = path;
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Errno("close", path_);
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::PageCount() const {
+  if (file_ == nullptr) return Status::InvalidArgument("not open");
+  if (std::fseek(file_, 0, SEEK_END) != 0) return Errno("seek", path_);
+  const long end = std::ftell(file_);
+  if (end < 0) return Errno("tell", path_);
+  return static_cast<PageId>(static_cast<size_t>(end) / kPageSize);
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  MMDB_ASSIGN_OR_RETURN(PageId count, PageCount());
+  Page zero;
+  if (std::fseek(file_, 0, SEEK_END) != 0) return Errno("seek", path_);
+  if (std::fwrite(zero.data(), kPageSize, 1, file_) != 1) {
+    return Errno("append", path_);
+  }
+  return count;
+}
+
+Status DiskManager::ReadPage(PageId id, Page* page) const {
+  if (file_ == nullptr) return Status::InvalidArgument("not open");
+  MMDB_ASSIGN_OR_RETURN(PageId count, PageCount());
+  if (id >= count) {
+    return Status::OutOfRange("page " + std::to_string(id) + " past EOF (" +
+                              std::to_string(count) + " pages)");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Errno("seek", path_);
+  }
+  if (std::fread(page->data(), kPageSize, 1, file_) != 1) {
+    return Errno("read", path_);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& page) {
+  if (file_ == nullptr) return Status::InvalidArgument("not open");
+  MMDB_ASSIGN_OR_RETURN(PageId count, PageCount());
+  if (id >= count) {
+    return Status::OutOfRange("write to unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Errno("seek", path_);
+  }
+  if (std::fwrite(page.data(), kPageSize, 1, file_) != 1) {
+    return Errno("write", path_);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (file_ == nullptr) return Status::InvalidArgument("not open");
+  if (std::fflush(file_) != 0) return Errno("flush", path_);
+  if (::fsync(::fileno(file_)) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace mmdb

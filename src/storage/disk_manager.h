@@ -1,0 +1,56 @@
+#ifndef MMDB_STORAGE_DISK_MANAGER_H_
+#define MMDB_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// Page-granular file I/O for a single database file.
+///
+/// The disk manager knows nothing about page contents; it reads, writes,
+/// and appends whole pages. Not thread-safe (the engine is single-threaded,
+/// like the paper's prototype).
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if absent) the database file at `path`.
+  Status Open(const std::string& path);
+
+  /// Flushes and closes the file. Safe to call when not open.
+  Status Close();
+
+  bool IsOpen() const { return file_ != nullptr; }
+
+  /// Number of pages currently in the file.
+  Result<PageId> PageCount() const;
+
+  /// Appends a zeroed page; returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `*page`. Fails with OutOfRange past EOF.
+  Status ReadPage(PageId id, Page* page) const;
+
+  /// Writes `page` at `id` (which must already exist).
+  Status WritePage(PageId id, const Page& page);
+
+  /// fflush + fsync.
+  Status Sync();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,138 @@
+#include "storage/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace mmdb {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x4a524e4c;  // "JRNL"
+constexpr size_t kRecordSize =
+    sizeof(uint32_t) + sizeof(uint32_t) + kPageSize + sizeof(uint64_t);
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t RecordChecksum(uint32_t page_id, const Page& page) {
+  const uint64_t seed = Fnv1a(&page_id, sizeof(page_id),
+                              0xcbf29ce484222325ULL);
+  return Fnv1a(page.data(), kPageSize, seed);
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
+  std::unique_ptr<Journal> journal(new Journal(path));
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) return Errno("open", path);
+  journal->file_ = f;
+  MMDB_RETURN_IF_ERROR(journal->ScanExisting());
+  return journal;
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Journal::ScanExisting() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) return Errno("seek", path_);
+  const long size = std::ftell(file_);
+  if (size < 0) return Errno("tell", path_);
+  record_count_ = 0;
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return Errno("seek", path_);
+  // Count the valid record prefix; a torn tail is expected after a crash.
+  while ((record_count_ + 1) * kRecordSize <=
+         static_cast<size_t>(size)) {
+    uint32_t magic = 0, page_id = 0;
+    Page page;
+    uint64_t checksum = 0;
+    if (std::fread(&magic, sizeof(magic), 1, file_) != 1 ||
+        std::fread(&page_id, sizeof(page_id), 1, file_) != 1 ||
+        std::fread(page.data(), kPageSize, 1, file_) != 1 ||
+        std::fread(&checksum, sizeof(checksum), 1, file_) != 1) {
+      break;
+    }
+    if (magic != kRecordMagic ||
+        checksum != RecordChecksum(page_id, page)) {
+      break;
+    }
+    ++record_count_;
+  }
+  return Status::OK();
+}
+
+Status Journal::Append(PageId page_id, const Page& before_image) {
+  if (std::fseek(file_,
+                 static_cast<long>(record_count_ * kRecordSize),
+                 SEEK_SET) != 0) {
+    return Errno("seek", path_);
+  }
+  const uint32_t magic = kRecordMagic;
+  const uint64_t checksum = RecordChecksum(page_id, before_image);
+  if (std::fwrite(&magic, sizeof(magic), 1, file_) != 1 ||
+      std::fwrite(&page_id, sizeof(page_id), 1, file_) != 1 ||
+      std::fwrite(before_image.data(), kPageSize, 1, file_) != 1 ||
+      std::fwrite(&checksum, sizeof(checksum), 1, file_) != 1) {
+    return Errno("append", path_);
+  }
+  ++record_count_;
+  synced_ = false;
+  return Status::OK();
+}
+
+Status Journal::EnsureSynced() {
+  if (synced_) return Status::OK();
+  if (std::fflush(file_) != 0) return Errno("flush", path_);
+  if (::fsync(::fileno(file_)) != 0) return Errno("fsync", path_);
+  synced_ = true;
+  return Status::OK();
+}
+
+Status Journal::Reset() {
+  if (std::fflush(file_) != 0) return Errno("flush", path_);
+  if (::ftruncate(::fileno(file_), 0) != 0) return Errno("truncate", path_);
+  if (::fsync(::fileno(file_)) != 0) return Errno("fsync", path_);
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return Errno("seek", path_);
+  record_count_ = 0;
+  synced_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<PageId, Page>>> Journal::ReadRecords() {
+  std::vector<std::pair<PageId, Page>> records;
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return Errno("seek", path_);
+  for (size_t i = 0; i < record_count_; ++i) {
+    uint32_t magic = 0, page_id = 0;
+    Page page;
+    uint64_t checksum = 0;
+    if (std::fread(&magic, sizeof(magic), 1, file_) != 1 ||
+        std::fread(&page_id, sizeof(page_id), 1, file_) != 1 ||
+        std::fread(page.data(), kPageSize, 1, file_) != 1 ||
+        std::fread(&checksum, sizeof(checksum), 1, file_) != 1) {
+      return Status::Corruption("journal: unreadable record");
+    }
+    if (magic != kRecordMagic || checksum != RecordChecksum(page_id, page)) {
+      return Status::Corruption("journal: invalid record inside prefix");
+    }
+    records.emplace_back(page_id, page);
+  }
+  return records;
+}
+
+}  // namespace mmdb

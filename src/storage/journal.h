@@ -1,0 +1,74 @@
+#ifndef MMDB_STORAGE_JOURNAL_H_
+#define MMDB_STORAGE_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Undo journal giving the page store crash-consistent mutations.
+///
+/// Protocol (classic before-image logging with the write-ahead rule):
+///  1. before a page is first modified within a transaction, its
+///     before-image is appended to the journal (`Append`);
+///  2. before any dirty page may be written back to the main file, the
+///     journal must be durable (`EnsureSynced` — the buffer pool's
+///     pre-writeback hook calls this);
+///  3. once every dirty page of the committed transaction has reached
+///     the main file (flush + fsync), the journal is truncated
+///     (`Reset`).
+///
+/// If the process dies between (2) and (3), reopening the store finds a
+/// non-empty journal and rolls the main file back to the pre-transaction
+/// images (`RecoverInto`). Each record carries a checksum; a torn tail
+/// record is ignored. Recovery can orphan freshly appended pages (they
+/// roll back to zeroed free-floating pages) but never corrupts reachable
+/// state.
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal file at `path`.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& path);
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends a before-image record (buffered write; not yet durable).
+  Status Append(PageId page_id, const Page& before_image);
+
+  /// Makes all appended records durable (no-op when already synced).
+  Status EnsureSynced();
+
+  /// Truncates the journal after a completed transaction.
+  Status Reset();
+
+  /// True if the journal holds records from an interrupted transaction.
+  bool NeedsRecovery() const { return record_count_ > 0; }
+
+  /// The valid recorded before-images, oldest first (a torn tail record
+  /// is dropped). Empty when no recovery is needed.
+  Result<std::vector<std::pair<PageId, Page>>> ReadRecords();
+
+  /// Number of (valid) records currently in the journal.
+  size_t record_count() const { return record_count_; }
+
+ private:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  Status ScanExisting();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t record_count_ = 0;
+  bool synced_ = true;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_JOURNAL_H_

@@ -1,0 +1,206 @@
+#include "storage/object_store.h"
+
+#include <functional>
+
+namespace mmdb {
+
+Status MemoryObjectStore::Put(uint64_t key, const std::string& value) {
+  if (key == 0) return Status::InvalidArgument("object key must be non-zero");
+  if (!blobs_.emplace(key, value).second) {
+    return Status::AlreadyExists("object key " + std::to_string(key));
+  }
+  return Status::OK();
+}
+
+Status MemoryObjectStore::Upsert(uint64_t key, const std::string& value) {
+  if (key == 0) return Status::InvalidArgument("object key must be non-zero");
+  blobs_[key] = value;
+  return Status::OK();
+}
+
+Result<std::string> MemoryObjectStore::Get(uint64_t key) const {
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::NotFound("object key " + std::to_string(key));
+  }
+  return it->second;
+}
+
+Status MemoryObjectStore::Delete(uint64_t key) {
+  if (blobs_.erase(key) == 0) {
+    return Status::NotFound("object key " + std::to_string(key));
+  }
+  return Status::OK();
+}
+
+bool MemoryObjectStore::Contains(uint64_t key) const {
+  return blobs_.count(key) > 0;
+}
+
+std::vector<uint64_t> MemoryObjectStore::Keys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(blobs_.size());
+  for (const auto& [key, value] : blobs_) keys.push_back(key);
+  return keys;
+}
+
+Result<std::unique_ptr<DiskObjectStore>> DiskObjectStore::Open(
+    const std::string& path, size_t pool_pages, bool journaled) {
+  std::unique_ptr<DiskObjectStore> store(new DiskObjectStore());
+  store->journaled_ = journaled;
+  store->disk_ = std::make_unique<DiskManager>();
+  MMDB_RETURN_IF_ERROR(store->disk_->Open(path));
+
+  // Recover an interrupted transaction before anything reads the file.
+  MMDB_ASSIGN_OR_RETURN(store->journal_, Journal::Open(path + ".journal"));
+  if (store->journal_->NeedsRecovery()) {
+    MMDB_ASSIGN_OR_RETURN(auto records, store->journal_->ReadRecords());
+    MMDB_ASSIGN_OR_RETURN(PageId page_count, store->disk_->PageCount());
+    // Undo in reverse order; before-images of pages the crash never got
+    // to write (beyond EOF) need no undo.
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      if (it->first >= page_count) continue;
+      MMDB_RETURN_IF_ERROR(store->disk_->WritePage(it->first, it->second));
+    }
+    MMDB_RETURN_IF_ERROR(store->disk_->Sync());
+    MMDB_RETURN_IF_ERROR(store->journal_->Reset());
+  }
+
+  // The blob store pins up to three pages at once; keep a sane floor.
+  store->pool_ = std::make_unique<BufferPool>(
+      store->disk_.get(), pool_pages < 8 ? 8 : pool_pages);
+  if (journaled) {
+    Journal* journal = store->journal_.get();
+    store->pool_->SetWriteCaptureHook(
+        [journal](PageId id, const Page& before) {
+          return journal->Append(id, before);
+        });
+    store->pool_->SetPreWritebackHook(
+        [journal] { return journal->EnsureSynced(); });
+  }
+  MMDB_ASSIGN_OR_RETURN(store->blobs_, BlobStore::Open(store->pool_.get()));
+  // Initializing a fresh header page is itself a transaction.
+  MMDB_RETURN_IF_ERROR(store->CommitTransaction());
+  return store;
+}
+
+Status DiskObjectStore::CommitTransaction() {
+  if (crashed_) return Status::Internal("store crashed (testing)");
+  MMDB_RETURN_IF_ERROR(pool_->TakeCaptureError());
+  MMDB_RETURN_IF_ERROR(pool_->FlushAll());
+  MMDB_RETURN_IF_ERROR(disk_->Sync());
+  MMDB_RETURN_IF_ERROR(journal_->Reset());
+  pool_->BeginCaptureEpoch();
+  return Status::OK();
+}
+
+Status DiskObjectStore::RollbackTransaction() {
+  // Restore every captured before-image through the pool, then commit
+  // the restoration and rebuild the in-memory blob directory.
+  MMDB_RETURN_IF_ERROR(pool_->TakeCaptureError());
+  pool_->SetWriteCaptureHook(nullptr);  // Don't journal the undo itself.
+  MMDB_ASSIGN_OR_RETURN(auto records, journal_->ReadRecords());
+  Status undo = Status::OK();
+  for (auto it = records.rbegin(); it != records.rend() && undo.ok(); ++it) {
+    Result<PageGuard> guard = pool_->FetchPage(it->first);
+    if (!guard.ok()) {
+      undo = guard.status();
+      break;
+    }
+    guard->Write() = it->second;
+  }
+  if (undo.ok()) undo = pool_->FlushAll();
+  if (undo.ok()) undo = disk_->Sync();
+  if (undo.ok()) undo = journal_->Reset();
+  pool_->BeginCaptureEpoch();
+  if (journaled_) {
+    Journal* journal = journal_.get();
+    pool_->SetWriteCaptureHook([journal](PageId id, const Page& before) {
+      return journal->Append(id, before);
+    });
+  }
+  MMDB_RETURN_IF_ERROR(undo);
+  // The rolled-back pages invalidate the cached directory; reload it.
+  MMDB_ASSIGN_OR_RETURN(blobs_, BlobStore::Open(pool_.get()));
+  return Status::OK();
+}
+
+Status DiskObjectStore::MaybeCommit() {
+  if (batch_depth_ > 0) return Status::OK();
+  return CommitTransaction();
+}
+
+Status DiskObjectStore::Mutate(const std::function<Status()>& mutation) {
+  if (crashed_) return Status::Internal("store crashed (testing)");
+  const Status applied = mutation();
+  if (!applied.ok()) {
+    if (batch_depth_ == 0 && journaled_ && journal_->record_count() > 0) {
+      // A failed standalone mutation may have touched pages; undo them.
+      MMDB_RETURN_IF_ERROR(RollbackTransaction());
+    }
+    return applied;
+  }
+  return MaybeCommit();
+}
+
+Status DiskObjectStore::Put(uint64_t key, const std::string& value) {
+  return Mutate([&] { return blobs_->Put(key, value); });
+}
+
+Status DiskObjectStore::Upsert(uint64_t key, const std::string& value) {
+  return Mutate([&]() -> Status {
+    if (blobs_->Contains(key)) {
+      MMDB_RETURN_IF_ERROR(blobs_->Delete(key));
+    }
+    return blobs_->Put(key, value);
+  });
+}
+
+Status DiskObjectStore::Delete(uint64_t key) {
+  return Mutate([&] { return blobs_->Delete(key); });
+}
+
+Result<std::string> DiskObjectStore::Get(uint64_t key) const {
+  return blobs_->Get(key);
+}
+
+bool DiskObjectStore::Contains(uint64_t key) const {
+  return blobs_->Contains(key);
+}
+
+std::vector<uint64_t> DiskObjectStore::Keys() const { return blobs_->Keys(); }
+
+size_t DiskObjectStore::Count() const { return blobs_->BlobCount(); }
+
+Status DiskObjectStore::BeginBatch() {
+  ++batch_depth_;
+  return Status::OK();
+}
+
+Status DiskObjectStore::CommitBatch() {
+  if (batch_depth_ <= 0) {
+    return Status::InvalidArgument("CommitBatch without BeginBatch");
+  }
+  if (--batch_depth_ == 0) return CommitTransaction();
+  return Status::OK();
+}
+
+Status DiskObjectStore::AbortBatch() {
+  if (batch_depth_ <= 0) {
+    return Status::InvalidArgument("AbortBatch without BeginBatch");
+  }
+  batch_depth_ = 0;  // An abort unwinds the whole nest.
+  return RollbackTransaction();
+}
+
+Status DiskObjectStore::Flush() {
+  MMDB_RETURN_IF_ERROR(CommitTransaction());
+  return Status::OK();
+}
+
+void DiskObjectStore::SimulateCrashForTesting() {
+  pool_->AbandonForTesting();
+  crashed_ = true;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,66 @@
+#ifndef MMDB_STORAGE_PAGE_H_
+#define MMDB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace mmdb {
+
+/// Fixed database page size, the unit of disk I/O and buffer management.
+inline constexpr size_t kPageSize = 4096;
+
+/// Page number within a database file. Page 0 is the file header.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (page 0 is the header, never a data page).
+inline constexpr PageId kInvalidPageId = 0;
+
+/// A raw page buffer with little-endian scalar accessors.
+///
+/// Higher layers (blob chains, the directory) define their own layouts on
+/// top of these primitives; the page itself is just bytes.
+class Page {
+ public:
+  Page() { data_.fill(0); }
+
+  char* data() { return data_.data(); }
+  const char* data() const { return data_.data(); }
+
+  /// Little-endian scalar reads/writes at byte `offset`; the caller must
+  /// keep offset + width <= kPageSize.
+  uint16_t ReadU16(size_t offset) const { return Read<uint16_t>(offset); }
+  uint32_t ReadU32(size_t offset) const { return Read<uint32_t>(offset); }
+  uint64_t ReadU64(size_t offset) const { return Read<uint64_t>(offset); }
+  void WriteU16(size_t offset, uint16_t v) { Write(offset, v); }
+  void WriteU32(size_t offset, uint32_t v) { Write(offset, v); }
+  void WriteU64(size_t offset, uint64_t v) { Write(offset, v); }
+
+  /// Bulk byte copy into / out of the page.
+  void WriteBytes(size_t offset, const void* src, size_t len) {
+    std::memcpy(data_.data() + offset, src, len);
+  }
+  void ReadBytes(size_t offset, void* dst, size_t len) const {
+    std::memcpy(dst, data_.data() + offset, len);
+  }
+
+  void Clear() { data_.fill(0); }
+
+ private:
+  template <typename T>
+  T Read(size_t offset) const {
+    T v;
+    std::memcpy(&v, data_.data() + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void Write(size_t offset, T v) {
+    std::memcpy(data_.data() + offset, &v, sizeof(T));
+  }
+
+  std::array<char, kPageSize> data_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_PAGE_H_

@@ -1,0 +1,91 @@
+#ifndef MMDB_UTIL_RESULT_H_
+#define MMDB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mmdb {
+
+/// A value of type `T` or a non-OK `Status`, in the Arrow idiom.
+///
+/// Usage:
+/// ```
+/// Result<Image> img = LoadPpm(path);
+/// if (!img.ok()) return img.status();
+/// Use(img.value());
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK `status`.
+  /// Passing an OK status is a programming error and is converted to
+  /// `StatusCode::kInternal`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Accessors. Must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace mmdb
+
+/// Assigns the value of a `Result` expression to `lhs`, or propagates the
+/// error `Status` out of the enclosing function.
+#define MMDB_ASSIGN_OR_RETURN(lhs, expr)                 \
+  MMDB_ASSIGN_OR_RETURN_IMPL_(                           \
+      MMDB_RESULT_CONCAT_(_mmdb_result, __LINE__), lhs, expr)
+
+#define MMDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define MMDB_RESULT_CONCAT_(a, b) MMDB_RESULT_CONCAT_IMPL_(a, b)
+#define MMDB_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MMDB_UTIL_RESULT_H_

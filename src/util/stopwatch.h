@@ -1,0 +1,39 @@
+#ifndef MMDB_UTIL_STOPWATCH_H_
+#define MMDB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mmdb {
+
+/// Wall-clock stopwatch over `std::chrono::steady_clock`.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last `Restart()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_STOPWATCH_H_

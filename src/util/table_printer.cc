@@ -1,0 +1,82 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mmdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Cell(int64_t v) { return std::to_string(v); }
+std::string TablePrinter::Cell(uint64_t v) { return std::to_string(v); }
+
+std::string TablePrinter::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+namespace {
+void WriteCsvCell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      WriteCsvCell(os, row[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace mmdb

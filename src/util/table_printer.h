@@ -1,0 +1,44 @@
+#ifndef MMDB_UTIL_TABLE_PRINTER_H_
+#define MMDB_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mmdb {
+
+/// Renders aligned ASCII tables and CSV, used by the benchmark harnesses to
+/// print paper-style rows/series.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; cells beyond the header count are dropped, missing
+  /// cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for mixed cell types.
+  static std::string Cell(const std::string& s) { return s; }
+  static std::string Cell(const char* s) { return s; }
+  static std::string Cell(int64_t v);
+  static std::string Cell(uint64_t v);
+  static std::string Cell(int v) { return Cell(static_cast<int64_t>(v)); }
+  /// Formats with `precision` digits after the decimal point.
+  static std::string Cell(double v, int precision = 4);
+
+  /// Writes an aligned ASCII rendering.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_TABLE_PRINTER_H_

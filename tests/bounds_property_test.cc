@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/bounds.h"
+#include "core/collection.h"
+#include "core/histogram.h"
+#include "image/editor.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+/// A small universe of stored binary images (pixels + catalog info) that
+/// scripts can reference and Merge into.
+struct Universe {
+  ColorQuantizer quantizer{4};
+  AugmentedCollection collection;
+  std::map<ObjectId, Image> pixels;
+  std::vector<datasets::MergeTarget> targets;
+
+  ImageResolver Resolver() const {
+    return [this](ObjectId id) -> Result<Image> {
+      const auto it = pixels.find(id);
+      if (it == pixels.end()) return Status::NotFound("image");
+      return it->second;
+    };
+  }
+};
+
+Universe MakeUniverse(Rng& rng, int binary_count = 3) {
+  Universe u;
+  for (int i = 0; i < binary_count; ++i) {
+    const ObjectId id = static_cast<ObjectId>(10 + i);
+    const int32_t w = static_cast<int32_t>(rng.UniformInt(12, 28));
+    const int32_t h = static_cast<int32_t>(rng.UniformInt(12, 28));
+    Image image = mmdb::testing::RandomBlockImage(w, h, 8, rng);
+    BinaryImageInfo info;
+    info.id = id;
+    info.width = w;
+    info.height = h;
+    info.histogram = ExtractHistogram(image, u.quantizer);
+    EXPECT_TRUE(u.collection.AddBinary(info).ok());
+    u.targets.push_back({id, w, h});
+    u.pixels.emplace(id, std::move(image));
+  }
+  return u;
+}
+
+/// The paper's core guarantee, checked against the pixel engine: for any
+/// edit script and any histogram bin, the rule-computed range
+/// [BOUNDmin, BOUNDmax] contains the instantiated image's exact count —
+/// hence range queries never produce false negatives.
+class BoundsSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundsSoundness, RuleBoundsContainExactCounts) {
+  Rng rng(GetParam());
+  Universe u = MakeUniverse(rng);
+  const RuleEngine engine(u.quantizer);
+  const TargetBoundsResolver target_resolver =
+      u.collection.MakeTargetResolver(engine);
+  const Editor editor(u.Resolver());
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const ObjectId base_id = u.targets[rng.Uniform(u.targets.size())].id;
+    const BinaryImageInfo* base = u.collection.FindBinary(base_id);
+    const EditScript script = mmdb::testing::RandomScript(
+        base_id, base->width, base->height,
+        static_cast<int>(rng.UniformInt(1, 10)), u.targets, rng);
+
+    Result<Image> instantiated =
+        editor.Instantiate(u.pixels.at(base_id), script);
+    ASSERT_TRUE(instantiated.ok())
+        << instantiated.status().ToString() << "\n" << script.ToString();
+    const ColorHistogram exact =
+        ExtractHistogram(*instantiated, u.quantizer);
+
+    for (BinIndex bin = 0; bin < u.quantizer.BinCount(); ++bin) {
+      Result<RuleState> state = ComputeRuleState(
+          engine, script, bin, base->histogram.Count(bin), base->width,
+          base->height, target_resolver);
+      ASSERT_TRUE(state.ok()) << state.status().ToString();
+      // Exact structural tracking:
+      EXPECT_EQ(state->width, instantiated->width()) << script.ToString();
+      EXPECT_EQ(state->height, instantiated->height()) << script.ToString();
+      EXPECT_EQ(state->size, instantiated->PixelCount());
+      // Soundness:
+      EXPECT_LE(state->hb_min, exact.Count(bin))
+          << "bin " << bin << "\n" << script.ToString();
+      EXPECT_GE(state->hb_max, exact.Count(bin))
+          << "bin " << bin << "\n" << script.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, BoundsSoundness,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+/// The Section 4 widening property: for operations classified as
+/// bound-widening, applying the rule can only widen (never narrow) the
+/// fraction range.
+class WideningProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WideningProperty, WideningRulesOnlyWidenFractionRange) {
+  Rng rng(GetParam());
+  Universe u = MakeUniverse(rng);
+  const RuleEngine engine(u.quantizer);
+  const TargetBoundsResolver target_resolver =
+      u.collection.MakeTargetResolver(engine);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const ObjectId base_id = u.targets[rng.Uniform(u.targets.size())].id;
+    const BinaryImageInfo* base = u.collection.FindBinary(base_id);
+    // Widening-only scripts: no merge targets allowed.
+    const EditScript script = mmdb::testing::RandomScript(
+        base_id, base->width, base->height,
+        static_cast<int>(rng.UniformInt(1, 10)), {}, rng);
+    ASSERT_TRUE(RuleEngine::IsAllBoundWidening(script));
+
+    for (BinIndex bin : {0, 21, 42, 63}) {
+      RuleState state = RuleEngine::InitialState(
+          base->histogram.Count(bin), base->width, base->height);
+      FractionBounds prev = ToFractionBounds(state);
+      for (const EditOp& op : script.ops) {
+        ASSERT_TRUE(engine.ApplyRule(op, bin, target_resolver, &state).ok());
+        const FractionBounds next = ToFractionBounds(state);
+        EXPECT_LE(next.min_fraction, prev.min_fraction + 1e-12)
+            << EditOpToString(op);
+        EXPECT_GE(next.max_fraction, prev.max_fraction - 1e-12)
+            << EditOpToString(op);
+        prev = next;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, WideningProperty,
+                         ::testing::Range(uint64_t{100}, uint64_t{112}));
+
+TEST(FractionBoundsTest, OverlapSemantics) {
+  const FractionBounds bounds{0.2, 0.5};
+  EXPECT_TRUE(bounds.Overlaps(0.1, 0.3));
+  EXPECT_TRUE(bounds.Overlaps(0.5, 1.0));   // Touching endpoints overlap.
+  EXPECT_TRUE(bounds.Overlaps(0.0, 0.2));
+  EXPECT_TRUE(bounds.Overlaps(0.3, 0.4));   // Query inside bounds.
+  EXPECT_TRUE(bounds.Overlaps(0.0, 1.0));   // Bounds inside query.
+  EXPECT_FALSE(bounds.Overlaps(0.51, 1.0));
+  EXPECT_FALSE(bounds.Overlaps(0.0, 0.19));
+}
+
+TEST(BoundsTest, MergeTargetCycleIsRejected) {
+  // An edited image whose merge target is itself (via the collection's
+  // recursive resolver) must fail cleanly, not loop.
+  const ColorQuantizer quantizer(4);
+  AugmentedCollection collection;
+  BinaryImageInfo base;
+  base.id = 1;
+  base.width = 4;
+  base.height = 4;
+  base.histogram = ExtractHistogram(Image(4, 4, colors::kRed), quantizer);
+  ASSERT_TRUE(collection.AddBinary(base).ok());
+
+  EditedImageInfo edited;
+  edited.id = 2;
+  edited.script.base_id = 1;
+  MergeOp self_merge;
+  self_merge.target = 2;  // Itself.
+  edited.script.ops.emplace_back(self_merge);
+  ASSERT_TRUE(collection.AddEdited(edited).ok());
+
+  const RuleEngine engine(quantizer);
+  const TargetBoundsResolver resolver =
+      collection.MakeTargetResolver(engine);
+  Result<FractionBounds> bounds =
+      ComputeBounds(engine, edited.script, 0, 16, 4, 4, resolver);
+  EXPECT_FALSE(bounds.ok());
+  EXPECT_EQ(bounds.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// White-box lockstep check: the rule engine's structural tracking
+/// (canvas dimensions and Defined Region) must match the editor's after
+/// every single operation — this equality is what makes |DR| and size
+/// arithmetic exact, and any drift would silently loosen or break the
+/// bounds.
+class StructuralLockstep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructuralLockstep, EditorAndRulesAgreeAfterEveryOp) {
+  Rng rng(GetParam());
+  Universe u = MakeUniverse(rng);
+  const RuleEngine engine(u.quantizer);
+  const TargetBoundsResolver target_resolver =
+      u.collection.MakeTargetResolver(engine);
+  const Editor editor(u.Resolver());
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const ObjectId base_id = u.targets[rng.Uniform(u.targets.size())].id;
+    const BinaryImageInfo* base = u.collection.FindBinary(base_id);
+    const EditScript script = mmdb::testing::RandomScript(
+        base_id, base->width, base->height,
+        static_cast<int>(rng.UniformInt(1, 12)), u.targets, rng);
+
+    Editor::State editor_state =
+        Editor::InitialState(u.pixels.at(base_id));
+    RuleState rule_state = RuleEngine::InitialState(
+        base->histogram.Count(0), base->width, base->height);
+    for (const EditOp& op : script.ops) {
+      ASSERT_TRUE(editor.ApplyOp(op, &editor_state).ok())
+          << EditOpToString(op);
+      ASSERT_TRUE(
+          engine.ApplyRule(op, 0, target_resolver, &rule_state).ok())
+          << EditOpToString(op);
+      EXPECT_EQ(rule_state.width, editor_state.canvas.width())
+          << EditOpToString(op) << "\n" << script.ToString();
+      EXPECT_EQ(rule_state.height, editor_state.canvas.height())
+          << EditOpToString(op);
+      EXPECT_EQ(rule_state.defined_region, editor_state.defined_region)
+          << EditOpToString(op) << "\n" << script.ToString();
+      EXPECT_EQ(rule_state.size, editor_state.canvas.PixelCount());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, StructuralLockstep,
+                         ::testing::Range(uint64_t{200}, uint64_t{212}));
+
+TEST(BoundsTest, EmptyScriptYieldsExactBaseFraction) {
+  const ColorQuantizer quantizer(4);
+  const RuleEngine engine(quantizer);
+  EditScript script;
+  script.base_id = 1;
+  Result<FractionBounds> bounds =
+      ComputeBounds(engine, script, 0, 25, 10, 10, nullptr);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_DOUBLE_EQ(bounds->min_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(bounds->max_fraction, 0.25);
+}
+
+}  // namespace
+}  // namespace mmdb

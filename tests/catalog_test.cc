@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace mmdb {
+namespace {
+
+TEST(CatalogTest, RowRoundTripBinary) {
+  CatalogRow row;
+  row.id = 42;
+  row.kind = ImageKind::kBinary;
+  row.width = 120;
+  row.height = 80;
+  row.histogram_counts = {0, 5, 100, 0, 9495};
+  const auto decoded = DecodeCatalogRow(EncodeCatalogRow(row));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(CatalogTest, RowRoundTripEdited) {
+  CatalogRow row;
+  row.id = 7;
+  row.kind = ImageKind::kEdited;
+  const auto decoded = DecodeCatalogRow(EncodeCatalogRow(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(CatalogTest, RowRejectsCorruption) {
+  CatalogRow row;
+  row.id = 1;
+  row.kind = ImageKind::kBinary;
+  const std::string data = EncodeCatalogRow(row);
+  for (size_t len = 0; len < data.size(); ++len) {
+    EXPECT_FALSE(DecodeCatalogRow(data.substr(0, len)).ok()) << len;
+  }
+  std::string bad_kind = data;
+  bad_kind[9] = 77;  // kind byte after version(1)+id(8).
+  EXPECT_EQ(DecodeCatalogRow(bad_kind).status().code(),
+            StatusCode::kCorruption);
+  std::string trailing = data + "x";
+  EXPECT_EQ(DecodeCatalogRow(trailing).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CatalogTest, MetaRoundTrip) {
+  CatalogMeta meta;
+  meta.next_id = 987654321;
+  meta.quantizer_divisions = 8;
+  const auto decoded = DecodeCatalogMeta(EncodeCatalogMeta(meta));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, meta);
+}
+
+TEST(CatalogTest, MetaRejectsBadVersion) {
+  std::string data = EncodeCatalogMeta(CatalogMeta{});
+  data[0] = 9;
+  EXPECT_EQ(DecodeCatalogMeta(data).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CatalogTest, KeySchemeIsInjective) {
+  // Raster/script/row keys for the first few thousand ids never collide
+  // with each other or with the reserved meta key.
+  std::set<uint64_t> seen = {catalog_keys::kMetaKey};
+  for (ObjectId id = catalog_keys::kFirstObjectId; id < 2000; ++id) {
+    EXPECT_TRUE(seen.insert(catalog_keys::RasterKey(id)).second) << id;
+    EXPECT_TRUE(seen.insert(catalog_keys::ScriptKey(id)).second) << id;
+    EXPECT_TRUE(seen.insert(catalog_keys::RowKey(id)).second) << id;
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "image/color.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+TEST(ColorTest, PackedRoundTrip) {
+  const Rgb c(0x12, 0x34, 0x56);
+  EXPECT_EQ(c.Packed(), 0x123456u);
+  EXPECT_EQ(Rgb::FromPacked(c.Packed()), c);
+}
+
+TEST(ColorTest, HexString) {
+  EXPECT_EQ(Rgb(255, 0, 128).ToHexString(), "#ff0080");
+  EXPECT_EQ(Rgb().ToHexString(), "#000000");
+}
+
+TEST(ColorTest, HsvPrimaries) {
+  const Hsv red = RgbToHsv(Rgb(255, 0, 0));
+  EXPECT_NEAR(red.h, 0.0, 1e-9);
+  EXPECT_NEAR(red.s, 1.0, 1e-9);
+  EXPECT_NEAR(red.v, 1.0, 1e-9);
+
+  const Hsv green = RgbToHsv(Rgb(0, 255, 0));
+  EXPECT_NEAR(green.h, 120.0, 1e-9);
+
+  const Hsv blue = RgbToHsv(Rgb(0, 0, 255));
+  EXPECT_NEAR(blue.h, 240.0, 1e-9);
+}
+
+TEST(ColorTest, HsvGreyHasZeroSaturation) {
+  const Hsv grey = RgbToHsv(Rgb(128, 128, 128));
+  EXPECT_NEAR(grey.s, 0.0, 1e-9);
+  EXPECT_NEAR(grey.v, 128.0 / 255.0, 1e-9);
+}
+
+TEST(ColorTest, HsvRoundTripIsNearlyLossless) {
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const Rgb original(static_cast<uint8_t>(rng.Uniform(256)),
+                       static_cast<uint8_t>(rng.Uniform(256)),
+                       static_cast<uint8_t>(rng.Uniform(256)));
+    const Rgb round = HsvToRgb(RgbToHsv(original));
+    EXPECT_NEAR(round.r, original.r, 1);
+    EXPECT_NEAR(round.g, original.g, 1);
+    EXPECT_NEAR(round.b, original.b, 1);
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

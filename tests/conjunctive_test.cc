@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "datasets/augment.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+using mmdb::testing::AsSet;
+
+ConjunctiveQuery RandomConjunctive(const ColorQuantizer& quantizer,
+                                   const std::vector<Rgb>& palette, int n,
+                                   Rng& rng) {
+  ConjunctiveQuery query;
+  for (int i = 0; i < n; ++i) {
+    RangeQuery conjunct;
+    conjunct.bin = quantizer.BinOf(palette[rng.Uniform(palette.size())]);
+    conjunct.min_fraction = rng.UniformDouble(0.0, 0.3);
+    conjunct.max_fraction =
+        std::min(1.0, conjunct.min_fraction + rng.UniformDouble(0.3, 0.8));
+    query.conjuncts.push_back(conjunct);
+  }
+  return query;
+}
+
+TEST(ConjunctiveQueryTest, SatisfiesRequiresEveryConjunct) {
+  ConjunctiveQuery query;
+  query.conjuncts.push_back({0, 0.2, 0.8});
+  query.conjuncts.push_back({1, 0.0, 0.1});
+  std::vector<double> fractions = {0.5, 0.05};
+  EXPECT_TRUE(query.Satisfies(
+      [&](BinIndex bin) { return fractions[static_cast<size_t>(bin)]; }));
+  fractions[1] = 0.5;  // Violates the second conjunct.
+  EXPECT_FALSE(query.Satisfies(
+      [&](BinIndex bin) { return fractions[static_cast<size_t>(bin)]; }));
+}
+
+TEST(ConjunctiveQueryTest, ValidationErrors) {
+  auto db = MultimediaDatabase::Open().value();
+  ConjunctiveQuery empty;
+  EXPECT_FALSE(db->RunConjunctive(empty, QueryMethod::kRbm).ok());
+  ConjunctiveQuery bad_bin;
+  bad_bin.conjuncts.push_back({-5, 0.0, 1.0});
+  EXPECT_FALSE(db->RunConjunctive(bad_bin, QueryMethod::kRbm).ok());
+  ConjunctiveQuery inverted;
+  inverted.conjuncts.push_back({0, 0.9, 0.1});
+  EXPECT_FALSE(db->RunConjunctive(inverted, QueryMethod::kBwm).ok());
+}
+
+TEST(ConjunctiveQueryTest, TeamColorsScenario) {
+  // "At least 25% blue AND at least 25% white AND at most 5% red."
+  auto db = MultimediaDatabase::Open().value();
+  Image match(10, 10, colors::kWhite);
+  match.Fill(Rect(0, 0, 10, 5), colors::kBlue);
+  const ObjectId matching = db->InsertBinaryImage(match).value();
+
+  Image blue_only(10, 10, colors::kBlue);
+  const ObjectId non_matching = db->InsertBinaryImage(blue_only).value();
+
+  ConjunctiveQuery query;
+  query.conjuncts.push_back({db->BinOf(colors::kBlue), 0.25, 1.0});
+  query.conjuncts.push_back({db->BinOf(colors::kWhite), 0.25, 1.0});
+  query.conjuncts.push_back({db->BinOf(colors::kRed), 0.0, 0.05});
+
+  for (QueryMethod method : {QueryMethod::kInstantiate, QueryMethod::kRbm,
+                             QueryMethod::kBwm}) {
+    const auto result = db->RunConjunctive(query, method).value();
+    EXPECT_EQ(AsSet(result.ids), AsSet({matching})) << (int)method;
+    EXPECT_FALSE(AsSet(result.ids).count(non_matching));
+  }
+}
+
+class ConjunctiveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConjunctiveProperty, MethodsAgreeAndNoFalseNegatives) {
+  auto db = MultimediaDatabase::Open().value();
+  datasets::DatasetSpec spec;
+  spec.total_images = 40;
+  spec.edited_fraction = 0.7;
+  spec.seed = GetParam();
+  ASSERT_TRUE(datasets::BuildAugmentedDatabase(db.get(), spec).ok());
+
+  Rng rng(GetParam() * 13 + 5);
+  for (int q = 0; q < 6; ++q) {
+    const ConjunctiveQuery query = RandomConjunctive(
+        db->quantizer(), datasets::FlagPalette(),
+        static_cast<int>(rng.UniformInt(1, 3)), rng);
+    const auto exact =
+        db->RunConjunctive(query, QueryMethod::kInstantiate).value();
+    const auto rbm = db->RunConjunctive(query, QueryMethod::kRbm).value();
+    const auto bwm = db->RunConjunctive(query, QueryMethod::kBwm).value();
+    // BWM == RBM exactly.
+    EXPECT_EQ(AsSet(rbm.ids), AsSet(bwm.ids)) << query.ToString();
+    // No false negatives vs. ground truth.
+    const auto rbm_set = AsSet(rbm.ids);
+    for (ObjectId id : exact.ids) {
+      EXPECT_TRUE(rbm_set.count(id)) << query.ToString();
+    }
+    // BWM never applies more rules.
+    EXPECT_LE(bwm.stats.rules_applied, rbm.stats.rules_applied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, ConjunctiveProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(ConjunctiveQueryTest, SingleConjunctMatchesRangeQuery) {
+  auto db = MultimediaDatabase::Open().value();
+  datasets::DatasetSpec spec;
+  spec.total_images = 30;
+  spec.edited_fraction = 0.6;
+  spec.seed = 99;
+  ASSERT_TRUE(datasets::BuildAugmentedDatabase(db.get(), spec).ok());
+
+  RangeQuery range;
+  range.bin = db->BinOf(colors::kRed);
+  range.min_fraction = 0.1;
+  range.max_fraction = 0.7;
+  ConjunctiveQuery conjunctive;
+  conjunctive.conjuncts.push_back(range);
+
+  for (QueryMethod method : {QueryMethod::kRbm, QueryMethod::kBwm}) {
+    const auto a = db->RunRange(range, method).value();
+    const auto b = db->RunConjunctive(conjunctive, method).value();
+    EXPECT_EQ(AsSet(a.ids), AsSet(b.ids));
+  }
+}
+
+TEST(ConjunctiveQueryTest, BwmSkipsClustersOnFullySatisfyingBases) {
+  auto db = MultimediaDatabase::Open().value();
+  Image base_image(10, 10, colors::kWhite);
+  base_image.Fill(Rect(0, 0, 10, 5), colors::kBlue);
+  const ObjectId base = db->InsertBinaryImage(base_image).value();
+  for (int i = 0; i < 4; ++i) {
+    EditScript script;
+    script.base_id = base;
+    script.ops.emplace_back(ModifyOp{colors::kBlue, colors::kNavy});
+    ASSERT_TRUE(db->InsertEditedImage(script).ok());
+  }
+  ConjunctiveQuery query;
+  query.conjuncts.push_back({db->BinOf(colors::kBlue), 0.3, 0.7});
+  query.conjuncts.push_back({db->BinOf(colors::kWhite), 0.3, 0.7});
+  const auto result = db->RunConjunctive(query, QueryMethod::kBwm).value();
+  EXPECT_EQ(result.ids.size(), 5u);
+  EXPECT_EQ(result.stats.edited_images_skipped, 4);
+  EXPECT_EQ(result.stats.rules_applied, 0);
+}
+
+}  // namespace
+}  // namespace mmdb

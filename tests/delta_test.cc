@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "datasets/generators.h"
+#include "editops/delta.h"
+#include "editops/serialize.h"
+#include "image/editor.h"
+#include "image/ppm_io.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(DeltaTest, IdenticalImagesNeedNoOps) {
+  Rng rng(1101);
+  const Image image = testing::RandomBlockImage(16, 12, 6, rng);
+  const auto script = MakeDeltaScript(1, image, image);
+  ASSERT_TRUE(script.ok());
+  EXPECT_TRUE(script->ops.empty());
+}
+
+TEST(DeltaTest, SinglePixelChange) {
+  Image base(8, 8, colors::kWhite);
+  Image target = base;
+  target.At(3, 5) = colors::kRed;
+  const auto script = MakeDeltaScript(1, base, target);
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->ops.size(), 2u);  // One Define + one Modify.
+  const Editor editor;
+  EXPECT_EQ(*editor.Instantiate(base, *script), target);
+}
+
+TEST(DeltaTest, RejectsEmptyAndGrowingTargets) {
+  EXPECT_FALSE(MakeDeltaScript(1, Image(), Image(2, 2)).ok());
+  EXPECT_FALSE(MakeDeltaScript(1, Image(2, 2), Image()).ok());
+  EXPECT_EQ(MakeDeltaScript(1, Image(4, 4), Image(8, 4)).status().code(),
+            StatusCode::kNotSupported);
+}
+
+class DeltaCompleteness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaCompleteness, AnySameSizeTargetIsReachedExactly) {
+  // Constructive completeness: arbitrary (base, target) pairs transform
+  // exactly through the five-operation set.
+  Rng rng(GetParam());
+  const Editor editor;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int32_t w = static_cast<int32_t>(rng.UniformInt(4, 24));
+    const int32_t h = static_cast<int32_t>(rng.UniformInt(4, 24));
+    const Image base = testing::RandomBlockImage(w, h, 8, rng);
+    const Image target = testing::RandomBlockImage(w, h, 8, rng);
+    const auto script = MakeDeltaScript(1, base, target);
+    ASSERT_TRUE(script.ok());
+    const auto instantiated = editor.Instantiate(base, *script);
+    ASSERT_TRUE(instantiated.ok());
+    EXPECT_EQ(*instantiated, target);
+    // All delta ops are bound-widening: deltas cluster under their base.
+    EXPECT_TRUE(RuleEngine::IsAllBoundWidening(*script));
+  }
+}
+
+TEST_P(DeltaCompleteness, SmallerTargetsAreCroppedThenRecolored) {
+  Rng rng(GetParam() + 40);
+  const Editor editor;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Image base = testing::RandomBlockImage(20, 16, 8, rng);
+    const int32_t tw = static_cast<int32_t>(rng.UniformInt(2, 20));
+    const int32_t th = static_cast<int32_t>(rng.UniformInt(2, 16));
+    const Image target = testing::RandomBlockImage(tw, th, 8, rng);
+    const auto script = MakeDeltaScript(1, base, target);
+    ASSERT_TRUE(script.ok());
+    const auto instantiated = editor.Instantiate(base, *script);
+    ASSERT_TRUE(instantiated.ok());
+    EXPECT_EQ(*instantiated, target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, DeltaCompleteness,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(DeltaTest, NearDuplicatesAreMuchSmallerThanRasters) {
+  // The storage story: a lightly edited flag stored as a delta costs a
+  // fraction of its PPM raster.
+  Rng rng(1103);
+  const Image flag = datasets::MakeFlagImages(1, rng)[0].image;
+  Image variant = flag;
+  variant.Fill(Rect(10, 10, 26, 22), colors::kBlack);  // A small defacing.
+  const auto script = MakeDeltaScript(1, flag, variant);
+  ASSERT_TRUE(script.ok());
+  const size_t script_bytes = EncodeEditScript(*script).size();
+  const size_t raster_bytes = EncodePpm(variant, PpmFormat::kBinary).size();
+  EXPECT_LT(script_bytes * 10, raster_bytes)
+      << "script=" << script_bytes << " raster=" << raster_bytes;
+}
+
+TEST(DeltaTest, DeltaStoredImagesAnswerQueriesViaRules) {
+  // End to end: store a delta variant, query it with BWM, retrieve it.
+  auto db = MultimediaDatabase::Open().value();
+  Image base(12, 12, colors::kWhite);
+  const ObjectId base_id = db->InsertBinaryImage(base).value();
+  Image target(12, 12, colors::kWhite);
+  target.Fill(Rect(0, 0, 12, 6), colors::kNavy);  // 50% navy variant.
+  const auto script = MakeDeltaScript(base_id, base, target);
+  ASSERT_TRUE(script.ok());
+  const ObjectId variant = db->InsertEditedImage(*script).value();
+
+  RangeQuery query;
+  query.bin = db->BinOf(colors::kNavy);
+  query.min_fraction = 0.4;
+  query.max_fraction = 0.6;
+  const auto result = db->RunRange(query, QueryMethod::kBwm).value();
+  EXPECT_TRUE(testing::AsSet(result.ids).count(variant));
+  EXPECT_EQ(db->GetImage(variant).value(), target);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/database.h"
+#include "core/dominant.h"
+#include "core/instantiate.h"
+#include "datasets/augment.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(DominantColorTest, ExtractionOrdersByStrength) {
+  const ColorQuantizer quantizer(4);
+  Image image(10, 10, colors::kWhite);            // 60%.
+  image.Fill(Rect(0, 0, 10, 3), colors::kRed);    // 30%.
+  image.Fill(Rect(0, 9, 10, 10), colors::kBlue);  // 10%.
+  const ColorHistogram hist = ExtractHistogram(image, quantizer);
+  const auto dominant = ExtractDominantColors(hist, 8, 0.05);
+  ASSERT_EQ(dominant.size(), 3u);
+  EXPECT_EQ(dominant[0].bin, quantizer.BinOf(colors::kWhite));
+  EXPECT_EQ(dominant[1].bin, quantizer.BinOf(colors::kRed));
+  EXPECT_EQ(dominant[2].bin, quantizer.BinOf(colors::kBlue));
+  EXPECT_DOUBLE_EQ(dominant[0].fraction, 0.6);
+}
+
+TEST(DominantColorTest, ThresholdAndCapApply) {
+  const ColorQuantizer quantizer(4);
+  Image image(10, 10, colors::kWhite);
+  image.Fill(Rect(0, 0, 10, 3), colors::kRed);
+  image.Fill(Rect(0, 9, 10, 10), colors::kBlue);
+  const ColorHistogram hist = ExtractHistogram(image, quantizer);
+  EXPECT_EQ(ExtractDominantColors(hist, 8, 0.2).size(), 2u);  // Blue cut.
+  EXPECT_EQ(ExtractDominantColors(hist, 1, 0.05).size(), 1u);  // Cap.
+  EXPECT_TRUE(ExtractDominantColors(hist, 8, 0.95).empty());
+}
+
+TEST(DominantColorTest, SimilarityProperties) {
+  const ColorQuantizer quantizer(4);
+  Rng rng(411);
+  const ColorHistogram a = ExtractHistogram(
+      mmdb::testing::RandomBlockImage(16, 16, 6, rng), quantizer);
+  const ColorHistogram b = ExtractHistogram(
+      mmdb::testing::RandomBlockImage(16, 16, 6, rng), quantizer);
+  const auto da = ExtractDominantColors(a);
+  const auto db = ExtractDominantColors(b);
+  EXPECT_NEAR(DominantColorSimilarity(da, da), 1.0, 1e-12);
+  const double ab = DominantColorSimilarity(da, db);
+  EXPECT_DOUBLE_EQ(ab, DominantColorSimilarity(db, da));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0 + 1e-12);
+  // Disjoint sets score 0; empty-vs-empty scores 1.
+  EXPECT_DOUBLE_EQ(DominantColorSimilarity({{0, 0.5}}, {{1, 0.5}}), 0.0);
+  EXPECT_DOUBLE_EQ(DominantColorSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(DominantColorSimilarity({{0, 0.5}}, {}), 0.0);
+}
+
+class DominantBoundsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DominantBoundsProperty, MustAndMayBracketExactDominants) {
+  auto db = MultimediaDatabase::Open().value();
+  datasets::DatasetSpec spec;
+  spec.total_images = 24;
+  spec.edited_fraction = 0.7;
+  spec.seed = GetParam();
+  ASSERT_TRUE(datasets::BuildAugmentedDatabase(db.get(), spec).ok());
+
+  const InstantiationQueryProcessor exact_processor(
+      &db->collection(), &db->quantizer(), db->MakePixelResolver());
+  constexpr double kThreshold = 0.1;
+
+  for (ObjectId id : db->collection().edited_ids()) {
+    const EditedImageInfo* edited = db->collection().FindEdited(id);
+    const auto candidates = ClassifyDominantBins(
+        db->collection(), db->rule_engine(), *edited, kThreshold);
+    ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+
+    const auto exact_hist = exact_processor.ExactHistogram(*edited);
+    ASSERT_TRUE(exact_hist.ok());
+    std::set<BinIndex> exact_dominant;
+    for (const DominantColor& color :
+         ExtractDominantColors(*exact_hist, -1, kThreshold)) {
+      exact_dominant.insert(color.bin);
+    }
+    const std::set<BinIndex> must(candidates->must.begin(),
+                                  candidates->must.end());
+    const std::set<BinIndex> may(candidates->may.begin(),
+                                 candidates->may.end());
+    // must ⊆ exact ⊆ may.
+    for (BinIndex bin : must) {
+      EXPECT_TRUE(exact_dominant.count(bin))
+          << "object " << id << " bin " << bin;
+    }
+    for (BinIndex bin : exact_dominant) {
+      EXPECT_TRUE(may.count(bin)) << "object " << id << " bin " << bin;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, DominantBoundsProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{5}));
+
+TEST(DominantColorTest, UnmodifiedScriptHasTightClassification) {
+  auto db = MultimediaDatabase::Open().value();
+  Image image(10, 10, colors::kRed);
+  image.Fill(Rect(0, 0, 10, 4), colors::kWhite);
+  const ObjectId base = db->InsertBinaryImage(image).value();
+  EditScript noop;
+  noop.base_id = base;
+  const ObjectId edited = db->InsertEditedImage(noop).value();
+  const auto candidates =
+      ClassifyDominantBins(db->collection(), db->rule_engine(),
+                           *db->collection().FindEdited(edited), 0.3);
+  ASSERT_TRUE(candidates.ok());
+  // No ops: bounds are exact, so must == may == the true dominants.
+  EXPECT_EQ(candidates->must, candidates->may);
+  EXPECT_EQ(candidates->must.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "image/draw.h"
+
+namespace mmdb {
+namespace {
+
+TEST(DrawTest, FilledCircleIsSymmetricAndSized) {
+  Image image(21, 21, colors::kBlack);
+  draw::FilledCircle(image, 10, 10, 5, colors::kWhite);
+  const int64_t count = image.CountColor(colors::kWhite);
+  // Area of a radius-5 disc is ~78.5; rasterization stays close.
+  EXPECT_GT(count, 60);
+  EXPECT_LT(count, 100);
+  // 4-fold symmetry about the center.
+  for (int32_t y = 0; y < 21; ++y) {
+    for (int32_t x = 0; x < 21; ++x) {
+      EXPECT_EQ(image.At(x, y), image.At(20 - x, y));
+      EXPECT_EQ(image.At(x, y), image.At(x, 20 - y));
+    }
+  }
+}
+
+TEST(DrawTest, EllipseClipsAtImageBoundary) {
+  Image image(10, 10, colors::kBlack);
+  draw::FilledEllipse(image, Rect(-5, -5, 15, 15), colors::kRed);
+  // No crash and a large filled area.
+  EXPECT_GT(image.CountColor(colors::kRed), 50);
+}
+
+TEST(DrawTest, HorizontalStripesCoverBoxEvenly) {
+  Image image(9, 9, colors::kBlack);
+  draw::HorizontalStripes(image, image.Bounds(),
+                          {colors::kRed, colors::kWhite, colors::kBlue});
+  EXPECT_EQ(image.CountColor(colors::kRed), 27);
+  EXPECT_EQ(image.CountColor(colors::kWhite), 27);
+  EXPECT_EQ(image.CountColor(colors::kBlue), 27);
+  EXPECT_EQ(image.At(0, 0), colors::kRed);
+  EXPECT_EQ(image.At(0, 4), colors::kWhite);
+  EXPECT_EQ(image.At(0, 8), colors::kBlue);
+}
+
+TEST(DrawTest, VerticalStripesCoverBoxEvenly) {
+  Image image(8, 4, colors::kBlack);
+  draw::VerticalStripes(image, image.Bounds(),
+                        {colors::kGreen, colors::kGold});
+  EXPECT_EQ(image.CountColor(colors::kGreen), 16);
+  EXPECT_EQ(image.CountColor(colors::kGold), 16);
+  EXPECT_EQ(image.At(0, 0), colors::kGreen);
+  EXPECT_EQ(image.At(7, 0), colors::kGold);
+}
+
+TEST(DrawTest, CrossCoversBothBars) {
+  Image image(12, 8, colors::kRed);
+  draw::Cross(image, image.Bounds(), 4, 4, 2, colors::kWhite);
+  // Vertical bar at x in [3,5), horizontal at y in [3,5).
+  EXPECT_EQ(image.At(3, 0), colors::kWhite);
+  EXPECT_EQ(image.At(0, 3), colors::kWhite);
+  EXPECT_EQ(image.At(0, 0), colors::kRed);
+  const int64_t white = image.CountColor(colors::kWhite);
+  EXPECT_EQ(white, 2 * 8 + 2 * 12 - 4);  // Bars minus overlap.
+}
+
+TEST(DrawTest, TriangleOrientation) {
+  Image up(20, 20, colors::kBlack);
+  draw::FilledTriangle(up, up.Bounds(), /*point_up=*/true, colors::kWhite);
+  Image down(20, 20, colors::kBlack);
+  draw::FilledTriangle(down, down.Bounds(), /*point_up=*/false,
+                       colors::kWhite);
+  // Pointing up: bottom row is mostly filled, top row mostly empty.
+  EXPECT_GT(up.CountColor(colors::kWhite, Rect(0, 18, 20, 20)),
+            up.CountColor(colors::kWhite, Rect(0, 0, 20, 2)));
+  EXPECT_GT(down.CountColor(colors::kWhite, Rect(0, 0, 20, 2)),
+            down.CountColor(colors::kWhite, Rect(0, 18, 20, 20)));
+  // Triangles cover about half the box.
+  EXPECT_NEAR(static_cast<double>(up.CountColor(colors::kWhite)) / 400, 0.5,
+              0.12);
+}
+
+TEST(DrawTest, OctagonCutsCorners) {
+  Image image(40, 40, colors::kBlack);
+  draw::FilledOctagon(image, image.Bounds(), colors::kRed);
+  EXPECT_EQ(image.At(0, 0), colors::kBlack);    // Corner cut.
+  EXPECT_EQ(image.At(39, 39), colors::kBlack);
+  EXPECT_EQ(image.At(20, 20), colors::kRed);    // Center filled.
+  EXPECT_EQ(image.At(20, 1), colors::kRed);     // Edge midpoints filled.
+  // Octagon area fraction of bounding square is ~0.83.
+  EXPECT_NEAR(static_cast<double>(image.CountColor(colors::kRed)) / 1600,
+              0.83, 0.08);
+}
+
+TEST(DrawTest, DiamondArea) {
+  Image image(40, 40, colors::kBlack);
+  draw::FilledDiamond(image, image.Bounds(), colors::kYellow);
+  EXPECT_EQ(image.At(0, 0), colors::kBlack);
+  EXPECT_EQ(image.At(20, 20), colors::kYellow);
+  // Diamond covers half the bounding box.
+  EXPECT_NEAR(static_cast<double>(image.CountColor(colors::kYellow)) / 1600,
+              0.5, 0.08);
+}
+
+TEST(DrawTest, ThickLineConnectsEndpoints) {
+  Image image(20, 20, colors::kBlack);
+  draw::ThickLine(image, 2, 2, 17, 17, 3, colors::kSilver);
+  EXPECT_EQ(image.At(2, 2), colors::kSilver);
+  EXPECT_EQ(image.At(17, 17), colors::kSilver);
+  EXPECT_EQ(image.At(10, 10), colors::kSilver);
+  EXPECT_EQ(image.At(2, 17), colors::kBlack);  // Off the line.
+}
+
+TEST(DrawTest, PolygonDegenerateInputsAreSafe) {
+  Image image(10, 10, colors::kBlack);
+  draw::FilledPolygon(image, {}, colors::kRed);
+  draw::FilledPolygon(image, {{1, 1}, {2, 2}}, colors::kRed);
+  EXPECT_EQ(image.CountColor(colors::kRed), 0);
+  draw::HorizontalStripes(image, image.Bounds(), {});
+  EXPECT_EQ(image.CountColor(colors::kBlack), 100);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "editops/dsl.h"
+#include "image/editor.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(DslTest, ParsesEveryOpKind) {
+  const auto script = ParseScriptDsl(
+      7,
+      "define:1,2,30,40;modify:#cc0000:#0038a8;blur;gauss;"
+      "combine:1,0,1,0,2,0,1,0,1;scale:2;scale:0.5,1.5;translate:-3,4;"
+      "rotate:90;rotate:45,10,20;matrix:1,0.5,0,0,1,0,0,0,1;crop;"
+      "merge:12,5,6");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->base_id, 7u);
+  ASSERT_EQ(script->ops.size(), 13u);
+  EXPECT_EQ(GetOpType(script->ops[0]), EditOpType::kDefine);
+  EXPECT_EQ(std::get<DefineOp>(script->ops[0]).region, Rect(1, 2, 30, 40));
+  EXPECT_EQ(std::get<ModifyOp>(script->ops[1]).new_color, colors::kBlue);
+  EXPECT_EQ(std::get<CombineOp>(script->ops[2]), CombineOp::BoxBlur());
+  EXPECT_TRUE(std::get<MutateOp>(script->ops[5]).IsPureScale());
+  EXPECT_TRUE(std::get<MutateOp>(script->ops[7]).IsRigidBody());
+  EXPECT_TRUE(std::get<MergeOp>(script->ops[11]).IsNullTarget());
+  EXPECT_EQ(std::get<MergeOp>(script->ops[12]).target, ObjectId{12});
+}
+
+TEST(DslTest, EmptyAndWhollyEmptySegments) {
+  const auto script = ParseScriptDsl(1, ";;blur;;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->ops.size(), 1u);
+  EXPECT_TRUE(ParseScriptDsl(1, "").value().ops.empty());
+}
+
+TEST(DslTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "frobnicate",
+      "define:1,2,3",            // Too few coordinates.
+      "modify:#cc0000",          // Missing new color.
+      "modify:#cc000:#0038a8",   // Short color.
+      "combine:1,2,3",           // Too few weights.
+      "scale:0",                 // Non-positive.
+      "scale:-2",
+      "translate:1",             // Too few.
+      "matrix:1,2,3,4,5,6,7,8",  // Too few.
+      "merge:0,1,1",             // Bad target id.
+      "merge:5,1",               // Too few.
+      "define:a,b,c,d",          // Non-numeric.
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(ParseScriptDsl(1, spec).ok()) << spec;
+  }
+}
+
+TEST(DslTest, FormatUsesCanonicalShortcuts) {
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(CombineOp::BoxBlur());
+  script.ops.emplace_back(CombineOp::GaussianBlur());
+  script.ops.emplace_back(MutateOp::Scale(2.0, 2.0));
+  script.ops.emplace_back(MutateOp::Translation(3, -4));
+  script.ops.emplace_back(MergeOp{});
+  EXPECT_EQ(FormatScriptDsl(script),
+            "blur;gauss;scale:2,2;translate:3,-4;crop");
+}
+
+class DslRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DslRoundTrip, ParseOfFormatIsIdentity) {
+  Rng rng(GetParam());
+  const std::vector<datasets::MergeTarget> targets = {{50, 32, 32},
+                                                      {51, 24, 40}};
+  for (int trial = 0; trial < 25; ++trial) {
+    const EditScript original = mmdb::testing::RandomScript(
+        9, 32, 32, static_cast<int>(rng.UniformInt(0, 10)), targets, rng);
+    const std::string text = FormatScriptDsl(original);
+    const auto parsed = ParseScriptDsl(9, text);
+    ASSERT_TRUE(parsed.ok()) << text << "\n" << parsed.status().ToString();
+    EXPECT_EQ(*parsed, original) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, DslRoundTrip,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(DslTest, ParsedScriptsExecute) {
+  const auto script = ParseScriptDsl(
+      1, "modify:#ff0000:#0000ff;define:0,0,4,4;crop;blur");
+  ASSERT_TRUE(script.ok());
+  const Editor editor;
+  Image base(8, 8, Rgb(255, 0, 0));
+  const auto out = editor.Instantiate(base, *script);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->width(), 4);
+  EXPECT_EQ(out->CountColor(Rgb(0, 0, 255)), 16);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "editops/edit_ops.h"
+
+namespace mmdb {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(EditOpsTest, OpTypeNames) {
+  EXPECT_EQ(EditOpTypeName(EditOpType::kDefine), "Define");
+  EXPECT_EQ(EditOpTypeName(EditOpType::kMerge), "Merge");
+}
+
+TEST(EditOpsTest, GetOpTypeDispatch) {
+  EXPECT_EQ(GetOpType(EditOp(DefineOp{})), EditOpType::kDefine);
+  EXPECT_EQ(GetOpType(EditOp(CombineOp{})), EditOpType::kCombine);
+  EXPECT_EQ(GetOpType(EditOp(ModifyOp{})), EditOpType::kModify);
+  EXPECT_EQ(GetOpType(EditOp(MutateOp{})), EditOpType::kMutate);
+  EXPECT_EQ(GetOpType(EditOp(MergeOp{})), EditOpType::kMerge);
+}
+
+TEST(EditOpsTest, CombineFactories) {
+  EXPECT_DOUBLE_EQ(CombineOp::BoxBlur().WeightSum(), 9.0);
+  EXPECT_DOUBLE_EQ(CombineOp::GaussianBlur().WeightSum(), 16.0);
+}
+
+TEST(MutateOpTest, IdentityProperties) {
+  const MutateOp id = MutateOp::Identity();
+  EXPECT_TRUE(id.IsRigidBody());
+  EXPECT_TRUE(id.IsPureScale());
+  EXPECT_DOUBLE_EQ(id.Det2x2(), 1.0);
+  double x, y;
+  ASSERT_TRUE(id.Apply(3.0, 4.0, &x, &y));
+  EXPECT_DOUBLE_EQ(x, 3.0);
+  EXPECT_DOUBLE_EQ(y, 4.0);
+}
+
+TEST(MutateOpTest, TranslationIsRigidNotScale) {
+  const MutateOp t = MutateOp::Translation(5, -2);
+  EXPECT_TRUE(t.IsRigidBody());
+  EXPECT_FALSE(t.IsPureScale());
+  double x, y;
+  ASSERT_TRUE(t.Apply(1.0, 1.0, &x, &y));
+  EXPECT_DOUBLE_EQ(x, 6.0);
+  EXPECT_DOUBLE_EQ(y, -1.0);
+}
+
+TEST(MutateOpTest, RotationAboutCenterFixesCenter) {
+  const MutateOp r = MutateOp::Rotation(kPi / 2, 10.0, 20.0);
+  EXPECT_TRUE(r.IsRigidBody());
+  double x, y;
+  ASSERT_TRUE(r.Apply(10.0, 20.0, &x, &y));
+  EXPECT_NEAR(x, 10.0, 1e-9);
+  EXPECT_NEAR(y, 20.0, 1e-9);
+  // A point one unit right of center maps one unit "down" (y grows).
+  ASSERT_TRUE(r.Apply(11.0, 20.0, &x, &y));
+  EXPECT_NEAR(x, 10.0, 1e-9);
+  EXPECT_NEAR(y, 21.0, 1e-9);
+}
+
+TEST(MutateOpTest, ScaleDetection) {
+  const MutateOp s = MutateOp::Scale(2.0, 0.5);
+  EXPECT_TRUE(s.IsPureScale());
+  EXPECT_FALSE(s.IsRigidBody());
+  EXPECT_DOUBLE_EQ(s.Det2x2(), 1.0);
+  // Negative or zero scales are not "pure scale".
+  EXPECT_FALSE(MutateOp::Scale(-1.0, 1.0).IsPureScale());
+  EXPECT_FALSE(MutateOp::Scale(0.0, 1.0).IsPureScale());
+}
+
+TEST(MutateOpTest, ShearIsNeitherRigidNorScale) {
+  MutateOp shear;
+  shear.m = {1, 0.5, 0, 0, 1, 0, 0, 0, 1};
+  EXPECT_FALSE(shear.IsRigidBody());
+  EXPECT_FALSE(shear.IsPureScale());
+}
+
+TEST(MutateOpTest, InverseComposesToIdentity) {
+  const MutateOp ops[] = {MutateOp::Translation(3, -7),
+                          MutateOp::Rotation(0.7, 5, 5),
+                          MutateOp::Scale(2.0, 4.0)};
+  for (const MutateOp& op : ops) {
+    const std::optional<MutateOp> inv = op.Inverse();
+    ASSERT_TRUE(inv.has_value());
+    double fx, fy, bx, by;
+    ASSERT_TRUE(op.Apply(3.5, -1.25, &fx, &fy));
+    ASSERT_TRUE(inv->Apply(fx, fy, &bx, &by));
+    EXPECT_NEAR(bx, 3.5, 1e-9);
+    EXPECT_NEAR(by, -1.25, 1e-9);
+  }
+}
+
+TEST(MutateOpTest, SingularMatrixHasNoInverse) {
+  MutateOp degenerate;
+  degenerate.m = {1, 0, 0, 2, 0, 0, 0, 0, 1};  // Rank-deficient 2x2.
+  EXPECT_FALSE(degenerate.Inverse().has_value());
+}
+
+TEST(MergeOpTest, NullTargetDetection) {
+  MergeOp null_merge;
+  EXPECT_TRUE(null_merge.IsNullTarget());
+  MergeOp target_merge;
+  target_merge.target = 42;
+  EXPECT_FALSE(target_merge.IsNullTarget());
+}
+
+TEST(EditOpsTest, ToStringSmoke) {
+  EXPECT_EQ(EditOpToString(EditOp(MergeOp{})), "Merge(NULL)");
+  EXPECT_NE(EditOpToString(EditOp(DefineOp{Rect(0, 0, 2, 2)})).find("Define"),
+            std::string::npos);
+  EditScript script;
+  script.base_id = 9;
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kBlue});
+  EXPECT_NE(script.ToString().find("base=9"), std::string::npos);
+  EXPECT_NE(script.ToString().find("Modify"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmdb

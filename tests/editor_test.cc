@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "image/editor.h"
+
+namespace mmdb {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Image Checkerboard(int32_t side, Rgb a, Rgb b) {
+  Image image(side, side);
+  for (int32_t y = 0; y < side; ++y) {
+    for (int32_t x = 0; x < side; ++x) {
+      image.At(x, y) = ((x + y) % 2 == 0) ? a : b;
+    }
+  }
+  return image;
+}
+
+TEST(EditorTest, EmptyScriptIsIdentity) {
+  const Image base(5, 4, colors::kRed);
+  Editor editor;
+  EditScript script;
+  script.base_id = 1;
+  Result<Image> out = editor.Instantiate(base, script);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, base);
+}
+
+TEST(EditorTest, DefineClipsToCanvas) {
+  Editor editor;
+  Editor::State state = Editor::InitialState(Image(10, 10));
+  ASSERT_TRUE(
+      editor.ApplyOp(DefineOp{Rect(5, 5, 100, 100)}, &state).ok());
+  EXPECT_EQ(state.defined_region, Rect(5, 5, 10, 10));
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(-5, -5, 3, 3)}, &state).ok());
+  EXPECT_EQ(state.defined_region, Rect(0, 0, 3, 3));
+}
+
+TEST(EditorTest, ModifyOnlyTouchesDefinedRegion) {
+  Editor editor;
+  Editor::State state = Editor::InitialState(Image(4, 4, colors::kRed));
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(0, 0, 2, 4)}, &state).ok());
+  ASSERT_TRUE(
+      editor.ApplyOp(ModifyOp{colors::kRed, colors::kBlue}, &state).ok());
+  EXPECT_EQ(state.canvas.CountColor(colors::kBlue), 8);
+  EXPECT_EQ(state.canvas.CountColor(colors::kRed), 8);
+}
+
+TEST(EditorTest, ModifyIgnoresOtherColors) {
+  Editor editor;
+  Editor::State state = Editor::InitialState(Image(3, 3, colors::kGreen));
+  ASSERT_TRUE(
+      editor.ApplyOp(ModifyOp{colors::kRed, colors::kBlue}, &state).ok());
+  EXPECT_EQ(state.canvas.CountColor(colors::kGreen), 9);
+}
+
+TEST(EditorTest, CombineUniformRegionIsFixedPoint) {
+  // Blurring a uniform region leaves it unchanged (weighted average of
+  // identical colors).
+  Editor editor;
+  Editor::State state = Editor::InitialState(Image(6, 6, colors::kNavy));
+  ASSERT_TRUE(editor.ApplyOp(CombineOp::BoxBlur(), &state).ok());
+  EXPECT_EQ(state.canvas.CountColor(colors::kNavy), 36);
+}
+
+TEST(EditorTest, CombineAveragesCheckerboard) {
+  Editor editor;
+  Editor::State state = Editor::InitialState(
+      Checkerboard(8, Rgb(0, 0, 0), Rgb(255, 255, 255)));
+  ASSERT_TRUE(editor.ApplyOp(CombineOp::BoxBlur(), &state).ok());
+  // Interior pixels average 4 or 5 whites out of 9 neighbors: mid-grey.
+  const Rgb center = state.canvas.At(4, 4);
+  EXPECT_GT(center.r, 80);
+  EXPECT_LT(center.r, 180);
+}
+
+TEST(EditorTest, CombineZeroWeightsIsNoOp) {
+  Editor editor;
+  const Image base = Checkerboard(4, colors::kRed, colors::kBlue);
+  Editor::State state = Editor::InitialState(base);
+  CombineOp zero;
+  zero.weights.fill(0.0);
+  ASSERT_TRUE(editor.ApplyOp(zero, &state).ok());
+  EXPECT_EQ(state.canvas, base);
+}
+
+TEST(EditorTest, CombineSnapshotSemantics) {
+  // The blur must read original neighbors, not partially blurred ones:
+  // a centered single white pixel spreads symmetrically.
+  Editor editor;
+  Image base(5, 5, colors::kBlack);
+  base.At(2, 2) = colors::kWhite;
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(CombineOp::BoxBlur(), &state).ok());
+  EXPECT_EQ(state.canvas.At(1, 2), state.canvas.At(3, 2));
+  EXPECT_EQ(state.canvas.At(2, 1), state.canvas.At(2, 3));
+  EXPECT_EQ(state.canvas.At(1, 1), state.canvas.At(3, 3));
+}
+
+TEST(EditorTest, MutateTranslationMovesRegion) {
+  Editor editor;
+  Image base(10, 10, colors::kWhite);
+  base.Fill(Rect(0, 0, 2, 2), colors::kRed);
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(0, 0, 2, 2)}, &state).ok());
+  ASSERT_TRUE(editor.ApplyOp(MutateOp::Translation(5, 5), &state).ok());
+  // Stamp semantics: the copy appears at (5,5); the source keeps its
+  // pixels (nothing overwrote them).
+  EXPECT_EQ(state.canvas.CountColor(colors::kRed, Rect(5, 5, 7, 7)), 4);
+  EXPECT_EQ(state.canvas.CountColor(colors::kRed, Rect(0, 0, 2, 2)), 4);
+  EXPECT_EQ(state.canvas.CountColor(colors::kRed), 8);
+}
+
+TEST(EditorTest, MutateTranslationClipsAtEdges) {
+  Editor editor;
+  Image base(6, 6, colors::kWhite);
+  base.Fill(Rect(0, 0, 3, 3), colors::kGreen);
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(0, 0, 3, 3)}, &state).ok());
+  ASSERT_TRUE(editor.ApplyOp(MutateOp::Translation(5, 5), &state).ok());
+  // Only the 1x1 overlap with the canvas receives the stamp.
+  EXPECT_EQ(state.canvas.CountColor(colors::kGreen, Rect(5, 5, 6, 6)), 1);
+}
+
+TEST(EditorTest, MutateRotation90MovesPixelCountExactly) {
+  Editor editor;
+  Image base(20, 20, colors::kWhite);
+  base.Fill(Rect(4, 4, 8, 8), colors::kBlue);
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(4, 4, 8, 8)}, &state).ok());
+  ASSERT_TRUE(
+      editor.ApplyOp(MutateOp::Rotation(kPi / 2, 10.0, 10.0), &state).ok());
+  // The rotated copy of the 4x4 block lands fully inside the canvas.
+  EXPECT_GE(state.canvas.CountColor(colors::kBlue), 16 + 12);
+}
+
+TEST(EditorTest, MutateFullCanvasIntegerUpscale) {
+  Editor editor;
+  Image base = Checkerboard(4, colors::kRed, colors::kBlue);
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(MutateOp::Scale(2.0, 2.0), &state).ok());
+  EXPECT_EQ(state.canvas.width(), 8);
+  EXPECT_EQ(state.canvas.height(), 8);
+  // Exactly 4x replication of each pixel.
+  EXPECT_EQ(state.canvas.CountColor(colors::kRed),
+            4 * base.CountColor(colors::kRed));
+  EXPECT_EQ(state.defined_region, Rect(0, 0, 8, 8));
+}
+
+TEST(EditorTest, MutateFullCanvasDownscaleHalves) {
+  Editor editor;
+  Image base(8, 8, colors::kGold);
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(MutateOp::Scale(0.5, 0.5), &state).ok());
+  EXPECT_EQ(state.canvas.width(), 4);
+  EXPECT_EQ(state.canvas.height(), 4);
+  EXPECT_EQ(state.canvas.CountColor(colors::kGold), 16);
+}
+
+TEST(EditorTest, MutateScaleOfSubregionKeepsCanvasSize) {
+  Editor editor;
+  Image base(10, 10, colors::kWhite);
+  base.Fill(Rect(0, 0, 2, 2), colors::kNavy);
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(0, 0, 2, 2)}, &state).ok());
+  ASSERT_TRUE(editor.ApplyOp(MutateOp::Scale(3.0, 3.0), &state).ok());
+  EXPECT_EQ(state.canvas.width(), 10);
+  EXPECT_EQ(state.canvas.height(), 10);
+  // The stamped 6x6 enlargement covers [0,6)x[0,6).
+  EXPECT_EQ(state.canvas.CountColor(colors::kNavy, Rect(0, 0, 6, 6)), 36);
+}
+
+TEST(EditorTest, MutateSingularMatrixFails) {
+  Editor editor;
+  Editor::State state = Editor::InitialState(Image(4, 4));
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(0, 0, 2, 2)}, &state).ok());
+  MutateOp degenerate;
+  degenerate.m = {0, 0, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_EQ(editor.ApplyOp(degenerate, &state).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EditorTest, MergeNullExtractsDefinedRegion) {
+  Editor editor;
+  Image base(8, 6, colors::kWhite);
+  base.Fill(Rect(2, 1, 5, 4), colors::kRed);
+  Editor::State state = Editor::InitialState(base);
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(2, 1, 5, 4)}, &state).ok());
+  ASSERT_TRUE(editor.ApplyOp(MergeOp{}, &state).ok());
+  EXPECT_EQ(state.canvas.width(), 3);
+  EXPECT_EQ(state.canvas.height(), 3);
+  EXPECT_EQ(state.canvas.CountColor(colors::kRed), 9);
+  EXPECT_EQ(state.defined_region, Rect(0, 0, 3, 3));
+}
+
+TEST(EditorTest, MergeNullWithEmptyRegionFails) {
+  Editor editor;
+  Editor::State state = Editor::InitialState(Image(4, 4));
+  ASSERT_TRUE(editor.ApplyOp(DefineOp{Rect(0, 0, 0, 0)}, &state).ok());
+  EXPECT_EQ(editor.ApplyOp(MergeOp{}, &state).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EditorTest, MergeIntoTargetPastesAndClips) {
+  std::map<ObjectId, Image> images;
+  images[50] = Image(6, 6, colors::kGreen);
+  Editor editor([&images](ObjectId id) -> Result<Image> {
+    const auto it = images.find(id);
+    if (it == images.end()) return Status::NotFound("image");
+    return it->second;
+  });
+  Image base(4, 4, colors::kRed);
+  Editor::State state = Editor::InitialState(base);
+  MergeOp merge;
+  merge.target = 50;
+  merge.x = 4;
+  merge.y = 4;  // Only a 2x2 corner fits.
+  ASSERT_TRUE(editor.ApplyOp(merge, &state).ok());
+  EXPECT_EQ(state.canvas.width(), 6);
+  EXPECT_EQ(state.canvas.height(), 6);
+  EXPECT_EQ(state.canvas.CountColor(colors::kRed), 4);
+  EXPECT_EQ(state.canvas.CountColor(colors::kGreen), 32);
+  EXPECT_EQ(state.defined_region, Rect(0, 0, 6, 6));
+}
+
+TEST(EditorTest, MergeWithoutResolverFails) {
+  Editor editor;  // No resolver.
+  Editor::State state = Editor::InitialState(Image(4, 4));
+  MergeOp merge;
+  merge.target = 99;
+  EXPECT_EQ(editor.ApplyOp(merge, &state).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EditorTest, MergeMissingTargetPropagatesError) {
+  Editor editor([](ObjectId) -> Result<Image> {
+    return Status::NotFound("gone");
+  });
+  Editor::State state = Editor::InitialState(Image(4, 4));
+  MergeOp merge;
+  merge.target = 99;
+  EXPECT_EQ(editor.ApplyOp(merge, &state).code(), StatusCode::kNotFound);
+}
+
+TEST(EditorTest, FullScriptPipeline) {
+  // Recolor, crop, then blur: the paper's canonical "edited variant".
+  Editor editor;
+  Image base(12, 12, colors::kWhite);
+  base.Fill(Rect(0, 0, 6, 12), colors::kRed);
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kNavy});
+  script.ops.emplace_back(DefineOp{Rect(0, 0, 6, 6)});
+  script.ops.emplace_back(MergeOp{});
+  script.ops.emplace_back(CombineOp::BoxBlur());
+  Result<Image> out = editor.Instantiate(base, script);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->width(), 6);
+  EXPECT_EQ(out->height(), 6);
+  // The crop region was uniformly navy after the modify, so the blur
+  // leaves it uniform.
+  EXPECT_EQ(out->CountColor(colors::kNavy), 36);
+}
+
+}  // namespace
+}  // namespace mmdb

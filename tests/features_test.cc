@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "features/shape.h"
+#include "features/signature.h"
+#include "features/texture.h"
+#include "image/draw.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+using features::CosineSimilarity;
+using features::EdgeDensity;
+using features::EdgeOrientationHistogram;
+using features::ForegroundArea;
+using features::ForegroundMask;
+using features::HuMoments;
+using features::Signature;
+
+TEST(SignatureTest, DistanceAndSimilarityBasics) {
+  const Signature a = {1.0, 0.0, 0.5};
+  const Signature b = {0.0, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(features::L1Distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(features::L1Distance(a, b), 2.0);
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(TextureTest, UniformImageIsAllFlat) {
+  const Image image(16, 16, colors::kNavy);
+  const Signature hist = EdgeOrientationHistogram(image, 8);
+  ASSERT_EQ(hist.size(), 9u);
+  EXPECT_NEAR(hist.back(), 1.0, 1e-12);  // Everything in the flat bin.
+  EXPECT_DOUBLE_EQ(EdgeDensity(image), 0.0);
+}
+
+TEST(TextureTest, HistogramSumsToOne) {
+  Rng rng(1009);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Image image = testing::RandomBlockImage(20, 20, 8, rng);
+    const Signature hist = EdgeOrientationHistogram(image, 8);
+    const double sum = std::accumulate(hist.begin(), hist.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(TextureTest, VerticalStripesProduceVerticalEdges) {
+  // Vertical color boundaries have horizontal gradients: orientation
+  // theta = atan2(gy, gx) ~ 0, the first bin.
+  Image image(32, 32, colors::kBlack);
+  draw::VerticalStripes(image, image.Bounds(),
+                        {colors::kBlack, colors::kWhite, colors::kBlack,
+                         colors::kWhite});
+  const Signature hist = EdgeOrientationHistogram(image, 8);
+  double edge_mass = 0;
+  for (size_t i = 0; i + 1 < hist.size(); ++i) edge_mass += hist[i];
+  ASSERT_GT(edge_mass, 0.0);
+  EXPECT_GT(hist[0], edge_mass * 0.9);
+}
+
+TEST(TextureTest, HorizontalStripesProduceHorizontalEdges) {
+  // Horizontal boundaries gradient points in y: theta ~ pi/2, mid bin.
+  Image image(32, 32, colors::kBlack);
+  draw::HorizontalStripes(image, image.Bounds(),
+                          {colors::kBlack, colors::kWhite, colors::kBlack,
+                           colors::kWhite});
+  const Signature hist = EdgeOrientationHistogram(image, 8);
+  double edge_mass = 0;
+  for (size_t i = 0; i + 1 < hist.size(); ++i) edge_mass += hist[i];
+  ASSERT_GT(edge_mass, 0.0);
+  EXPECT_GT(hist[4], edge_mass * 0.9);  // Bin for theta ~ pi/2.
+}
+
+TEST(TextureTest, BusyImagesHaveHigherEdgeDensity) {
+  Image flat(32, 32, colors::kRed);
+  Image checker(32, 32);
+  for (int32_t y = 0; y < 32; ++y) {
+    for (int32_t x = 0; x < 32; ++x) {
+      checker.At(x, y) =
+          ((x / 2 + y / 2) % 2 == 0) ? colors::kBlack : colors::kWhite;
+    }
+  }
+  EXPECT_GT(EdgeDensity(checker), EdgeDensity(flat) + 0.3);
+}
+
+TEST(TextureTest, TinyImagesAreHandled) {
+  EXPECT_TRUE(EdgeOrientationHistogram(Image(2, 2)).empty());
+  EXPECT_DOUBLE_EQ(EdgeDensity(Image(1, 5)), 0.0);
+}
+
+TEST(ShapeTest, ForegroundMaskSeparatesShapeFromBackdrop) {
+  Image image(20, 20, colors::kSkyBlue);
+  image.Fill(Rect(5, 5, 15, 15), colors::kRed);
+  const auto mask = ForegroundMask(image);
+  int64_t on = 0;
+  for (uint8_t bit : mask) on += bit;
+  EXPECT_EQ(on, 100);
+  EXPECT_NEAR(ForegroundArea(image), 0.25, 1e-12);
+}
+
+TEST(ShapeTest, EmptyMaskYieldsEmptyMoments) {
+  EXPECT_TRUE(HuMoments(Image(10, 10, colors::kWhite)).empty());
+  EXPECT_TRUE(HuMoments(Image()).empty());
+}
+
+TEST(ShapeTest, HuMomentsTranslationInvariant) {
+  Image a(64, 64, colors::kWhite);
+  draw::FilledTriangle(a, Rect(4, 4, 28, 28), true, colors::kRed);
+  Image b(64, 64, colors::kWhite);
+  draw::FilledTriangle(b, Rect(34, 30, 58, 54), true, colors::kRed);
+  const Signature ha = HuMoments(a);
+  const Signature hb = HuMoments(b);
+  ASSERT_EQ(ha.size(), 7u);
+  EXPECT_LT(features::L1Distance(ha, hb), 0.05);
+}
+
+TEST(ShapeTest, HuMomentsScaleInvariant) {
+  Image a(64, 64, colors::kWhite);
+  draw::FilledCircle(a, 32, 32, 10, colors::kNavy);
+  Image b(64, 64, colors::kWhite);
+  draw::FilledCircle(b, 32, 32, 25, colors::kNavy);
+  EXPECT_LT(features::L1Distance(HuMoments(a), HuMoments(b)), 0.1);
+}
+
+TEST(ShapeTest, HuMomentsRotationInvariantAt90Degrees) {
+  // A 2:1 bar rotated by 90 degrees (exact rasterization).
+  Image a(64, 64, colors::kWhite);
+  a.Fill(Rect(16, 26, 48, 38), colors::kRed);  // Horizontal bar.
+  Image b(64, 64, colors::kWhite);
+  b.Fill(Rect(26, 16, 38, 48), colors::kRed);  // Vertical bar.
+  EXPECT_LT(features::L1Distance(HuMoments(a), HuMoments(b)), 1e-9);
+}
+
+TEST(ShapeTest, DistinctShapesSeparate) {
+  auto render = [](auto draw_fn) {
+    Image image(64, 64, colors::kWhite);
+    draw_fn(image);
+    return HuMoments(image);
+  };
+  const Signature octagon = render([](Image& image) {
+    draw::FilledOctagon(image, Rect(8, 8, 56, 56), colors::kRed);
+  });
+  const Signature triangle = render([](Image& image) {
+    draw::FilledTriangle(image, Rect(8, 8, 56, 56), true, colors::kRed);
+  });
+  const Signature bar = render([](Image& image) {
+    image.Fill(Rect(8, 28, 56, 36), colors::kRed);
+  });
+  // A triangle and an octagon differ more than two octagon draws.
+  const Signature octagon2 = render([](Image& image) {
+    draw::FilledOctagon(image, Rect(12, 12, 52, 52), colors::kNavy);
+  });
+  const double same = features::L1Distance(octagon, octagon2);
+  const double tri = features::L1Distance(octagon, triangle);
+  const double elongated = features::L1Distance(octagon, bar);
+  EXPECT_LT(same, tri);
+  EXPECT_LT(same, elongated);
+  EXPECT_GT(tri, 0.05);
+}
+
+TEST(ShapeTest, MatchesSyntheticSignShapesAcrossColors) {
+  // The same sign shape in different colors yields near-identical
+  // moments (shape is color-blind), supporting the road-sign use case.
+  Image red_stop(64, 64, colors::kSkyBlue);
+  draw::FilledOctagon(red_stop, Rect(10, 10, 54, 54), colors::kRed);
+  Image blue_stop(64, 64, colors::kGrassGreen);
+  draw::FilledOctagon(blue_stop, Rect(10, 10, 54, 54), colors::kBlue);
+  EXPECT_LT(
+      features::L1Distance(HuMoments(red_stop), HuMoments(blue_stop)),
+      1e-9);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/histogram_index.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+TEST(HistogramIndexTest, RejectsArityMismatch) {
+  HistogramIndex index(64);
+  const ColorHistogram wrong(8);
+  EXPECT_EQ(index.Insert(1, wrong).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.Knn(wrong, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  RangeQuery query;
+  query.bin = 999;
+  EXPECT_EQ(index.RangeSearch(query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramIndexTest, RangeSearchMatchesDirectEvaluation) {
+  const ColorQuantizer quantizer(4);
+  HistogramIndex index(quantizer.BinCount());
+  Rng rng(7);
+  std::vector<std::pair<ObjectId, ColorHistogram>> reference;
+  for (int i = 0; i < 120; ++i) {
+    const Image image = testing::RandomBlockImage(16, 16, 8, rng);
+    const ColorHistogram hist = ExtractHistogram(image, quantizer);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    ASSERT_TRUE(index.Insert(id, hist).ok());
+    reference.emplace_back(id, hist);
+  }
+  ASSERT_TRUE(index.tree().CheckInvariants().ok());
+
+  const std::vector<Rgb> palette = testing::TestPalette();
+  for (int q = 0; q < 20; ++q) {
+    RangeQuery query;
+    query.bin = quantizer.BinOf(palette[rng.Uniform(palette.size())]);
+    query.min_fraction = rng.UniformDouble(0.0, 0.6);
+    query.max_fraction = query.min_fraction + rng.UniformDouble(0.05, 0.4);
+    auto got = index.RangeSearch(query).value();
+    std::vector<ObjectId> expected;
+    for (const auto& [id, hist] : reference) {
+      if (query.Satisfies(hist.Fraction(query.bin))) expected.push_back(id);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << query.ToString();
+  }
+}
+
+TEST(HistogramIndexTest, KnnFindsExactNearestByL2) {
+  const ColorQuantizer quantizer(4);
+  HistogramIndex index(quantizer.BinCount());
+  Rng rng(11);
+  std::vector<std::pair<ObjectId, ColorHistogram>> reference;
+  for (int i = 0; i < 80; ++i) {
+    const ColorHistogram hist = ExtractHistogram(
+        testing::RandomBlockImage(12, 12, 8, rng), quantizer);
+    ASSERT_TRUE(index.Insert(static_cast<ObjectId>(i + 1), hist).ok());
+    reference.emplace_back(static_cast<ObjectId>(i + 1), hist);
+  }
+  const ColorHistogram query = ExtractHistogram(
+      testing::RandomBlockImage(12, 12, 8, rng), quantizer);
+  const auto got = index.Knn(query, 5).value();
+  ASSERT_EQ(got.size(), 5u);
+  std::vector<double> brute;
+  for (const auto& [id, hist] : reference) {
+    brute.push_back(L2Distance(query, hist));
+  }
+  std::sort(brute.begin(), brute.end());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].second, brute[i], 1e-9);
+  }
+}
+
+TEST(HistogramIndexTest, SelfQueryReturnsSelfFirst) {
+  const ColorQuantizer quantizer(4);
+  HistogramIndex index(quantizer.BinCount());
+  Rng rng(13);
+  ColorHistogram target(quantizer.BinCount());
+  for (int i = 0; i < 30; ++i) {
+    const ColorHistogram hist = ExtractHistogram(
+        testing::RandomBlockImage(10, 10, 8, rng), quantizer);
+    if (i == 17) target = hist;
+    ASSERT_TRUE(index.Insert(static_cast<ObjectId>(i + 1), hist).ok());
+  }
+  const auto got = index.Knn(target, 1).value();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(got[0].second, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmdb

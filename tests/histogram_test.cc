@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/histogram.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+TEST(HistogramTest, ExtractionCountsEveryPixel) {
+  const ColorQuantizer quantizer(4);
+  Image image(10, 6, colors::kRed);
+  image.Fill(Rect(0, 0, 5, 6), colors::kBlue);
+  const ColorHistogram hist = ExtractHistogram(image, quantizer);
+  EXPECT_EQ(hist.Total(), 60);
+  EXPECT_EQ(hist.Count(quantizer.BinOf(colors::kRed)), 30);
+  EXPECT_EQ(hist.Count(quantizer.BinOf(colors::kBlue)), 30);
+}
+
+TEST(HistogramTest, CountsSumToTotalOnRandomImages) {
+  const ColorQuantizer quantizer(4);
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Image image = testing::RandomBlockImage(23, 17, 8, rng);
+    const ColorHistogram hist = ExtractHistogram(image, quantizer);
+    const int64_t sum = std::accumulate(hist.counts().begin(),
+                                        hist.counts().end(), int64_t{0});
+    EXPECT_EQ(sum, hist.Total());
+    EXPECT_EQ(hist.Total(), image.PixelCount());
+  }
+}
+
+TEST(HistogramTest, FractionsAreNormalized) {
+  const ColorQuantizer quantizer(2);
+  Image image(4, 4, colors::kBlack);
+  image.Fill(Rect(0, 0, 4, 1), colors::kWhite);
+  const ColorHistogram hist = ExtractHistogram(image, quantizer);
+  EXPECT_DOUBLE_EQ(hist.Fraction(quantizer.BinOf(colors::kWhite)), 0.25);
+  const std::vector<double> normalized = hist.Normalized();
+  const double sum =
+      std::accumulate(normalized.begin(), normalized.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyHistogramFractionIsZero) {
+  const ColorHistogram hist(8);
+  EXPECT_EQ(hist.Total(), 0);
+  EXPECT_DOUBLE_EQ(hist.Fraction(3), 0.0);
+}
+
+TEST(SimilarityFunctionsTest, IntersectionIsOneForIdenticalImages) {
+  const ColorQuantizer quantizer(4);
+  Rng rng(73);
+  const Image image = testing::RandomBlockImage(16, 16, 6, rng);
+  const ColorHistogram hist = ExtractHistogram(image, quantizer);
+  EXPECT_NEAR(HistogramIntersection(hist, hist), 1.0, 1e-12);
+}
+
+TEST(SimilarityFunctionsTest, IntersectionIsZeroForDisjointColors) {
+  const ColorQuantizer quantizer(4);
+  const ColorHistogram red =
+      ExtractHistogram(Image(4, 4, colors::kRed), quantizer);
+  const ColorHistogram blue =
+      ExtractHistogram(Image(4, 4, colors::kBlue), quantizer);
+  EXPECT_DOUBLE_EQ(HistogramIntersection(red, blue), 0.0);
+  EXPECT_DOUBLE_EQ(L1Distance(red, blue), 2.0);  // Max possible L1.
+}
+
+TEST(SimilarityFunctionsTest, IntersectionIsSymmetricAndBounded) {
+  const ColorQuantizer quantizer(4);
+  Rng rng(79);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ColorHistogram a = ExtractHistogram(
+        testing::RandomBlockImage(12, 12, 8, rng), quantizer);
+    const ColorHistogram b = ExtractHistogram(
+        testing::RandomBlockImage(12, 12, 8, rng), quantizer);
+    const double ab = HistogramIntersection(a, b);
+    EXPECT_DOUBLE_EQ(ab, HistogramIntersection(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0 + 1e-12);
+  }
+}
+
+TEST(SimilarityFunctionsTest, LpDistanceMetricProperties) {
+  const ColorQuantizer quantizer(4);
+  Rng rng(83);
+  for (int trial = 0; trial < 15; ++trial) {
+    const ColorHistogram a = ExtractHistogram(
+        testing::RandomBlockImage(10, 10, 8, rng), quantizer);
+    const ColorHistogram b = ExtractHistogram(
+        testing::RandomBlockImage(10, 10, 8, rng), quantizer);
+    const ColorHistogram c = ExtractHistogram(
+        testing::RandomBlockImage(10, 10, 8, rng), quantizer);
+    for (double p : {1.0, 2.0, 3.0}) {
+      EXPECT_NEAR(LpDistance(a, a, p), 0.0, 1e-12);
+      EXPECT_DOUBLE_EQ(LpDistance(a, b, p), LpDistance(b, a, p));
+      // Triangle inequality.
+      EXPECT_LE(LpDistance(a, c, p),
+                LpDistance(a, b, p) + LpDistance(b, c, p) + 1e-9);
+    }
+  }
+}
+
+TEST(SimilarityFunctionsTest, L1AndL2SpecialCasesAgreeWithLp) {
+  const ColorQuantizer quantizer(4);
+  Rng rng(89);
+  const ColorHistogram a =
+      ExtractHistogram(testing::RandomBlockImage(9, 9, 8, rng), quantizer);
+  const ColorHistogram b =
+      ExtractHistogram(testing::RandomBlockImage(9, 9, 8, rng), quantizer);
+  EXPECT_NEAR(L1Distance(a, b), LpDistance(a, b, 1.0), 1e-12);
+  EXPECT_NEAR(L2Distance(a, b), LpDistance(a, b, 2.0), 1e-12);
+}
+
+TEST(SimilarityFunctionsTest, IntersectionRelatesToL1) {
+  // For normalized histograms: intersection = 1 - L1/2.
+  const ColorQuantizer quantizer(4);
+  Rng rng(97);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ColorHistogram a = ExtractHistogram(
+        testing::RandomBlockImage(14, 14, 8, rng), quantizer);
+    const ColorHistogram b = ExtractHistogram(
+        testing::RandomBlockImage(14, 14, 8, rng), quantizer);
+    EXPECT_NEAR(HistogramIntersection(a, b), 1.0 - L1Distance(a, b) / 2.0,
+                1e-9);
+  }
+}
+
+TEST(HistogramTest, ToStringListsNonzeroBins) {
+  const ColorQuantizer quantizer(2);
+  const ColorHistogram hist =
+      ExtractHistogram(Image(2, 2, colors::kWhite), quantizer);
+  EXPECT_NE(hist.ToString().find("total=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmdb

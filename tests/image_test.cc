@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "image/geometry.h"
+#include "image/image.h"
+
+namespace mmdb {
+namespace {
+
+TEST(RectTest, BasicDimensions) {
+  const Rect r(2, 3, 10, 7);
+  EXPECT_EQ(r.Width(), 8);
+  EXPECT_EQ(r.Height(), 4);
+  EXPECT_EQ(r.Area(), 32);
+  EXPECT_FALSE(r.Empty());
+}
+
+TEST(RectTest, EmptyAndInvertedRects) {
+  EXPECT_TRUE(Rect().Empty());
+  EXPECT_TRUE(Rect(5, 5, 5, 9).Empty());
+  const Rect inverted(10, 0, 2, 5);
+  EXPECT_TRUE(inverted.Empty());
+  EXPECT_EQ(inverted.Area(), 0);
+}
+
+TEST(RectTest, ContainsPoint) {
+  const Rect r(0, 0, 4, 4);
+  EXPECT_TRUE(r.Contains(0, 0));
+  EXPECT_TRUE(r.Contains(3, 3));
+  EXPECT_FALSE(r.Contains(4, 3));  // Half-open.
+  EXPECT_FALSE(r.Contains(-1, 0));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(2, 2, 8, 8)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_TRUE(outer.Contains(Rect()));  // Empty is contained anywhere.
+  EXPECT_FALSE(outer.Contains(Rect(5, 5, 11, 9)));
+}
+
+TEST(RectTest, Intersect) {
+  const Rect a(0, 0, 10, 10);
+  const Rect b(5, 5, 15, 15);
+  EXPECT_EQ(a.Intersect(b), Rect(5, 5, 10, 10));
+  EXPECT_TRUE(a.Intersect(Rect(20, 20, 30, 30)).Empty());
+  // Touching edges (half-open) do not intersect.
+  EXPECT_TRUE(a.Intersect(Rect(10, 0, 20, 10)).Empty());
+}
+
+TEST(ImageTest, ConstructionAndFill) {
+  Image image(4, 3, colors::kRed);
+  EXPECT_EQ(image.width(), 4);
+  EXPECT_EQ(image.height(), 3);
+  EXPECT_EQ(image.PixelCount(), 12);
+  EXPECT_EQ(image.CountColor(colors::kRed), 12);
+}
+
+TEST(ImageTest, EmptyImage) {
+  Image image;
+  EXPECT_TRUE(image.Empty());
+  EXPECT_EQ(image.PixelCount(), 0);
+  // Negative dimensions collapse to empty.
+  Image negative(-3, 5);
+  EXPECT_TRUE(negative.Empty());
+}
+
+TEST(ImageTest, PixelAccess) {
+  Image image(3, 3, colors::kBlack);
+  image.At(1, 2) = colors::kWhite;
+  EXPECT_EQ(image.At(1, 2), colors::kWhite);
+  EXPECT_EQ(image.At(0, 0), colors::kBlack);
+  EXPECT_EQ(image.GetOr(5, 5, colors::kRed), colors::kRed);
+  EXPECT_EQ(image.GetOr(1, 2, colors::kRed), colors::kWhite);
+}
+
+TEST(ImageTest, FillClipsToBounds) {
+  Image image(4, 4, colors::kBlack);
+  image.Fill(Rect(2, 2, 100, 100), colors::kBlue);
+  EXPECT_EQ(image.CountColor(colors::kBlue), 4);
+  EXPECT_EQ(image.CountColor(colors::kBlack), 12);
+}
+
+TEST(ImageTest, CountColorInRegion) {
+  Image image(4, 4, colors::kBlack);
+  image.Fill(Rect(0, 0, 2, 4), colors::kGreen);
+  EXPECT_EQ(image.CountColor(colors::kGreen, Rect(0, 0, 1, 4)), 4);
+  EXPECT_EQ(image.CountColor(colors::kGreen, Rect(2, 0, 4, 4)), 0);
+}
+
+TEST(ImageTest, EqualityIsPixelwise) {
+  Image a(2, 2, colors::kRed);
+  Image b(2, 2, colors::kRed);
+  EXPECT_EQ(a, b);
+  b.At(0, 0) = colors::kBlue;
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == Image(2, 3, colors::kRed));
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "datasets/augment.h"
+#include "editops/optimize.h"
+#include "image/editor.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(OptimizeTest, DropsNoOpModify) {
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kRed});
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kBlue});
+  OptimizeStats stats;
+  const EditScript optimized = OptimizeScript(script, &stats);
+  EXPECT_EQ(optimized.ops.size(), 1u);
+  EXPECT_EQ(stats.removed_ops, 1);
+}
+
+TEST(OptimizeTest, DropsZeroWeightCombineAndIdentityMutate) {
+  EditScript script;
+  script.base_id = 1;
+  CombineOp zero;
+  zero.weights.fill(0.0);
+  script.ops.emplace_back(zero);
+  script.ops.emplace_back(MutateOp::Identity());
+  script.ops.emplace_back(MutateOp::Translation(0, 0));  // Also identity.
+  script.ops.emplace_back(CombineOp::BoxBlur());
+  const EditScript optimized = OptimizeScript(script);
+  ASSERT_EQ(optimized.ops.size(), 1u);
+  EXPECT_EQ(GetOpType(optimized.ops[0]), EditOpType::kCombine);
+}
+
+TEST(OptimizeTest, CollapsesConsecutiveDefines) {
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(DefineOp{Rect(0, 0, 2, 2)});
+  script.ops.emplace_back(DefineOp{Rect(1, 1, 3, 3)});
+  script.ops.emplace_back(DefineOp{Rect(2, 2, 4, 4)});
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kBlue});
+  const EditScript optimized = OptimizeScript(script);
+  ASSERT_EQ(optimized.ops.size(), 2u);
+  EXPECT_EQ(std::get<DefineOp>(optimized.ops[0]).region, Rect(2, 2, 4, 4));
+}
+
+TEST(OptimizeTest, DefinesSeparatedByDeadOpsCollapseToo) {
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(DefineOp{Rect(0, 0, 2, 2)});
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kRed});  // Dead.
+  script.ops.emplace_back(DefineOp{Rect(1, 1, 3, 3)});
+  script.ops.emplace_back(MergeOp{});
+  const EditScript optimized = OptimizeScript(script);
+  ASSERT_EQ(optimized.ops.size(), 2u);
+  EXPECT_EQ(std::get<DefineOp>(optimized.ops[0]).region, Rect(1, 1, 3, 3));
+}
+
+TEST(OptimizeTest, DropsTrailingDefines) {
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kBlue});
+  script.ops.emplace_back(DefineOp{Rect(0, 0, 2, 2)});
+  const EditScript optimized = OptimizeScript(script);
+  EXPECT_EQ(optimized.ops.size(), 1u);
+}
+
+TEST(OptimizeTest, PreservesEverythingLive) {
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(DefineOp{Rect(0, 0, 4, 4)});
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kBlue});
+  script.ops.emplace_back(CombineOp::GaussianBlur());
+  script.ops.emplace_back(MutateOp::Translation(2, 2));
+  script.ops.emplace_back(MergeOp{});
+  OptimizeStats stats;
+  const EditScript optimized = OptimizeScript(script, &stats);
+  EXPECT_EQ(optimized, script);
+  EXPECT_EQ(stats.removed_ops, 0);
+}
+
+TEST(OptimizeTest, NeverChangesWideningClassification) {
+  Rng rng(511);
+  for (int trial = 0; trial < 50; ++trial) {
+    const EditScript script = mmdb::testing::RandomScript(
+        1, 24, 24, static_cast<int>(rng.UniformInt(0, 10)), {}, rng);
+    const EditScript optimized = OptimizeScript(script);
+    EXPECT_EQ(RuleEngine::IsAllBoundWidening(script),
+              RuleEngine::IsAllBoundWidening(optimized));
+  }
+}
+
+class OptimizeEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizeEquivalence, OptimizedScriptInstantiatesIdentically) {
+  Rng rng(GetParam());
+  const Editor editor;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Image base = mmdb::testing::RandomBlockImage(20, 16, 6, rng);
+    EditScript script = mmdb::testing::RandomScript(
+        1, base.width(), base.height(),
+        static_cast<int>(rng.UniformInt(0, 8)), {}, rng);
+    // Seed some dead ops into random positions.
+    for (int d = 0; d < 3; ++d) {
+      const size_t pos = rng.Uniform(script.ops.size() + 1);
+      EditOp dead = d == 0 ? EditOp(ModifyOp{colors::kGold, colors::kGold})
+                    : d == 1 ? EditOp(MutateOp::Identity())
+                             : [] {
+                                 CombineOp zero;
+                                 zero.weights.fill(0.0);
+                                 return EditOp(zero);
+                               }();
+      script.ops.insert(script.ops.begin() + static_cast<ptrdiff_t>(pos),
+                        dead);
+    }
+    const EditScript optimized = OptimizeScript(script);
+    EXPECT_LE(optimized.ops.size(), script.ops.size());
+    const auto original_image = editor.Instantiate(base, script);
+    const auto optimized_image = editor.Instantiate(base, optimized);
+    ASSERT_TRUE(original_image.ok());
+    ASSERT_TRUE(optimized_image.ok());
+    EXPECT_EQ(*original_image, *optimized_image) << script.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, OptimizeEquivalence,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/quantizer.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+TEST(QuantizerTest, BinCountIsCubeOfDivisions) {
+  EXPECT_EQ(ColorQuantizer(1).BinCount(), 1);
+  EXPECT_EQ(ColorQuantizer(2).BinCount(), 8);
+  EXPECT_EQ(ColorQuantizer(4).BinCount(), 64);
+  EXPECT_EQ(ColorQuantizer(8).BinCount(), 512);
+}
+
+TEST(QuantizerTest, DivisionsAreClamped) {
+  EXPECT_EQ(ColorQuantizer(0).divisions(), 1);
+  EXPECT_EQ(ColorQuantizer(-5).divisions(), 1);
+  EXPECT_EQ(ColorQuantizer(1000).divisions(), 256);
+}
+
+TEST(QuantizerTest, BinsAreInRange) {
+  const ColorQuantizer quantizer(4);
+  Rng rng(61);
+  for (int i = 0; i < 2000; ++i) {
+    const Rgb color(static_cast<uint8_t>(rng.Uniform(256)),
+                    static_cast<uint8_t>(rng.Uniform(256)),
+                    static_cast<uint8_t>(rng.Uniform(256)));
+    const BinIndex bin = quantizer.BinOf(color);
+    EXPECT_GE(bin, 0);
+    EXPECT_LT(bin, quantizer.BinCount());
+  }
+}
+
+TEST(QuantizerTest, UniformPartitionBoundaries) {
+  const ColorQuantizer quantizer(4);  // Cells of width 64.
+  EXPECT_EQ(quantizer.BinOf(Rgb(0, 0, 0)), quantizer.BinOf(Rgb(63, 63, 63)));
+  EXPECT_NE(quantizer.BinOf(Rgb(63, 0, 0)), quantizer.BinOf(Rgb(64, 0, 0)));
+  EXPECT_EQ(quantizer.BinOf(Rgb(255, 255, 255)),
+            quantizer.BinCount() - 1);
+}
+
+TEST(QuantizerTest, DistinctCornersGetDistinctBins) {
+  const ColorQuantizer quantizer(4);
+  std::set<BinIndex> bins = {
+      quantizer.BinOf(Rgb(0, 0, 0)),     quantizer.BinOf(Rgb(255, 0, 0)),
+      quantizer.BinOf(Rgb(0, 255, 0)),   quantizer.BinOf(Rgb(0, 0, 255)),
+      quantizer.BinOf(Rgb(255, 255, 0)), quantizer.BinOf(Rgb(255, 0, 255)),
+      quantizer.BinOf(Rgb(0, 255, 255)), quantizer.BinOf(Rgb(255, 255, 255))};
+  EXPECT_EQ(bins.size(), 8u);
+}
+
+TEST(QuantizerTest, BinCenterMapsBackToItsBin) {
+  for (int divisions : {1, 2, 3, 4, 8}) {
+    const ColorQuantizer quantizer(divisions);
+    for (BinIndex bin = 0; bin < quantizer.BinCount(); ++bin) {
+      EXPECT_EQ(quantizer.BinOf(quantizer.BinCenter(bin)), bin)
+          << "divisions=" << divisions << " bin=" << bin;
+    }
+  }
+}
+
+TEST(QuantizerTest, SingleDivisionMapsEverythingToBinZero) {
+  const ColorQuantizer quantizer(1);
+  EXPECT_EQ(quantizer.BinOf(Rgb(0, 0, 0)), 0);
+  EXPECT_EQ(quantizer.BinOf(Rgb(255, 255, 255)), 0);
+}
+
+TEST(QuantizerTest, DescribeBinMentionsIndex) {
+  const ColorQuantizer quantizer(4);
+  EXPECT_NE(quantizer.DescribeBin(42).find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmdb

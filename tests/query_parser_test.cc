@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/query_parser.h"
+
+namespace mmdb {
+namespace {
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  ColorQuantizer quantizer_{4};
+};
+
+TEST_F(QueryParserTest, PaperExampleAtLeast25PercentBlue) {
+  const auto query = ParseQuery("color('#0000ff') >= 0.25", quantizer_);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->conjuncts.size(), 1u);
+  EXPECT_EQ(query->conjuncts[0].bin, quantizer_.BinOf(Rgb(0, 0, 255)));
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].min_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].max_fraction, 1.0);
+}
+
+TEST_F(QueryParserTest, PercentagesAndUnquotedColors) {
+  const auto query = ParseQuery("color(#ff0000) <= 25%", quantizer_);
+  ASSERT_TRUE(query.ok());
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].min_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].max_fraction, 0.25);
+}
+
+TEST_F(QueryParserTest, BinIndexReference) {
+  const auto query = ParseQuery("color(42) between 0.1 and 0.4", quantizer_);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->conjuncts[0].bin, 42);
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].min_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].max_fraction, 0.4);
+}
+
+TEST_F(QueryParserTest, ExactEquality) {
+  const auto query = ParseQuery("color(0) == 0.5", quantizer_);
+  ASSERT_TRUE(query.ok());
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].min_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].max_fraction, 0.5);
+}
+
+TEST_F(QueryParserTest, Conjunctions) {
+  const auto query = ParseQuery(
+      "color('#0000ff') >= 25% AND color('#ffffff') <= 10% and "
+      "color(3) between 0 and 1",
+      quantizer_);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->conjuncts.size(), 3u);
+}
+
+TEST_F(QueryParserTest, CaseAndWhitespaceInsensitive) {
+  const auto query =
+      ParseQuery("  COLOR( '#00ff00' )   BETWEEN  10%  AND  90%  ",
+                 quantizer_);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].min_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(query->conjuncts[0].max_fraction, 0.9);
+}
+
+TEST_F(QueryParserTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "histogram(1) >= 0.5",
+      "color(",
+      "color()",
+      "color(#12345) >= 0.5",     // Short color.
+      "color(#0000ff)",           // Missing constraint.
+      "color(#0000ff) >= ",       // Missing number.
+      "color(#0000ff) >= 1.5",    // Out of range.
+      "color(#0000ff) between 0.6 and 0.2",  // Inverted.
+      "color(99999) >= 0.5",      // Bin out of range.
+      "color(#0000ff) >= 0.5 and",
+      "color('#0000ff) >= 0.5",   // Unterminated quote.
+      "color(#0000ff) >= 0.5 or color(#ff0000) >= 0.5",  // No 'or'.
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseQuery(text, quantizer_).ok()) << text;
+  }
+}
+
+TEST_F(QueryParserTest, ParsedQueriesExecute) {
+  auto db = MultimediaDatabase::Open().value();
+  Image image(10, 10, colors::kWhite);
+  image.Fill(Rect(0, 0, 10, 5), Rgb(0, 0, 255));
+  const ObjectId id = db->InsertBinaryImage(image).value();
+  const auto query = ParseQuery(
+      "color('#0000ff') >= 0.25 and color('#ffffff') between 0.3 and 0.7",
+      db->quantizer());
+  ASSERT_TRUE(query.ok());
+  const auto result = db->RunConjunctive(*query, QueryMethod::kBwm).value();
+  ASSERT_EQ(result.ids.size(), 1u);
+  EXPECT_EQ(result.ids[0], id);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+std::vector<RTree::LoadEntry> RandomEntries(size_t n, size_t dims,
+                                            Rng& rng) {
+  std::vector<RTree::LoadEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RTree::LoadEntry entry;
+    entry.rect.min.resize(dims);
+    entry.rect.max.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      const double a = rng.NextDouble();
+      entry.rect.min[d] = a;
+      entry.rect.max[d] = a + rng.NextDouble() * 0.1;
+    }
+    entry.id = static_cast<ObjectId>(i + 1);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+TEST(RTreeBulkLoadTest, EmptyAndTiny) {
+  auto empty = RTree::BulkLoad(3, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->Size(), 0u);
+  EXPECT_TRUE(empty->CheckInvariants().ok());
+
+  Rng rng(1);
+  auto tiny = RTree::BulkLoad(2, RandomEntries(3, 2, rng));
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->Size(), 3u);
+  EXPECT_EQ(tiny->Height(), 1u);
+  EXPECT_TRUE(tiny->CheckInvariants().ok());
+}
+
+TEST(RTreeBulkLoadTest, RejectsBadEntries) {
+  RTree::LoadEntry wrong_dims;
+  wrong_dims.rect = HyperRect::Point({0.5});
+  EXPECT_FALSE(RTree::BulkLoad(2, {wrong_dims}).ok());
+  RTree::LoadEntry inverted;
+  inverted.rect = HyperRect{{1.0, 1.0}, {0.0, 0.0}};
+  EXPECT_FALSE(RTree::BulkLoad(2, {inverted}).ok());
+}
+
+class RTreeBulkProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeBulkProperty, MatchesIncrementalTreeOnEveryQuery) {
+  Rng rng(GetParam());
+  const size_t dims = 1 + rng.Uniform(4);
+  const size_t n = 50 + rng.Uniform(400);
+  const auto entries = RandomEntries(n, dims, rng);
+
+  auto bulk = RTree::BulkLoad(dims, entries);
+  ASSERT_TRUE(bulk.ok());
+  EXPECT_EQ(bulk->Size(), n);
+  ASSERT_TRUE(bulk->CheckInvariants().ok())
+      << bulk->CheckInvariants().ToString();
+
+  RTree incremental(dims);
+  for (const auto& entry : entries) {
+    ASSERT_TRUE(incremental.Insert(entry.rect, entry.id).ok());
+  }
+
+  for (int q = 0; q < 15; ++q) {
+    HyperRect query;
+    query.min.resize(dims);
+    query.max.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      query.min[d] = rng.NextDouble();
+      query.max[d] = query.min[d] + rng.NextDouble() * 0.4;
+    }
+    auto a = bulk->RangeSearch(query).value();
+    auto b = incremental.RangeSearch(query).value();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+
+  // k-NN distances agree too.
+  std::vector<double> point(dims);
+  for (double& v : point) v = rng.NextDouble();
+  const auto knn_a = bulk->Knn(point, 7).value();
+  const auto knn_b = incremental.Knn(point, 7).value();
+  ASSERT_EQ(knn_a.size(), knn_b.size());
+  for (size_t i = 0; i < knn_a.size(); ++i) {
+    EXPECT_NEAR(knn_a[i].second, knn_b[i].second, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, RTreeBulkProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(RTreeBulkLoadTest, PackedTreeIsShallow) {
+  Rng rng(9);
+  const auto entries = RandomEntries(4096, 2, rng);
+  auto bulk = RTree::BulkLoad(2, entries, 8);
+  ASSERT_TRUE(bulk.ok());
+  // ceil(log_8(4096)) = 4 levels for a fully packed tree.
+  EXPECT_LE(bulk->Height(), 5u);
+  EXPECT_TRUE(bulk->CheckInvariants().ok());
+}
+
+TEST(RTreeBulkLoadTest, SupportsFurtherInserts) {
+  Rng rng(10);
+  auto bulk = RTree::BulkLoad(2, RandomEntries(100, 2, rng));
+  ASSERT_TRUE(bulk.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(bulk->Insert(HyperRect::Point({rng.NextDouble(),
+                                               rng.NextDouble()}),
+                             1000 + i)
+                    .ok());
+  }
+  EXPECT_EQ(bulk->Size(), 200u);
+  EXPECT_TRUE(bulk->CheckInvariants().ok())
+      << bulk->CheckInvariants().ToString();
+}
+
+}  // namespace
+}  // namespace mmdb

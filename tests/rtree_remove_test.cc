@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+std::vector<double> RandomPoint(size_t dims, Rng& rng) {
+  std::vector<double> point(dims);
+  for (double& v : point) v = rng.NextDouble();
+  return point;
+}
+
+TEST(RTreeRemoveTest, RemoveFromSmallTree) {
+  RTree tree(2);
+  ASSERT_TRUE(tree.Insert(HyperRect::Point({0.1, 0.1}), 1).ok());
+  ASSERT_TRUE(tree.Insert(HyperRect::Point({0.9, 0.9}), 2).ok());
+  ASSERT_TRUE(tree.Remove(HyperRect::Point({0.1, 0.1}), 1).ok());
+  EXPECT_EQ(tree.Size(), 1u);
+  const auto hits =
+      tree.RangeSearch(HyperRect{{0.0, 0.0}, {1.0, 1.0}}).value();
+  EXPECT_EQ(hits, std::vector<ObjectId>{2});
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeRemoveTest, MissingEntryIsNotFound) {
+  RTree tree(2);
+  ASSERT_TRUE(tree.Insert(HyperRect::Point({0.5, 0.5}), 1).ok());
+  EXPECT_EQ(tree.Remove(HyperRect::Point({0.5, 0.5}), 2).code(),
+            StatusCode::kNotFound);
+  // Same id, different key also misses.
+  EXPECT_EQ(tree.Remove(HyperRect::Point({0.4, 0.5}), 1).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tree.Remove(HyperRect{{0}, {1}}, 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RTreeRemoveTest, RemoveEverythingLeavesEmptyTree) {
+  Rng rng(1501);
+  RTree tree(3, 4);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 120; ++i) {
+    points.push_back(RandomPoint(3, rng));
+    ASSERT_TRUE(
+        tree.Insert(HyperRect::Point(points.back()), i + 1).ok());
+  }
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(tree.Remove(HyperRect::Point(points[i]), i + 1).ok()) << i;
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << i << ": " << tree.CheckInvariants().ToString();
+  }
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_TRUE(tree.Knn(RandomPoint(3, rng), 1).value().empty());
+}
+
+class RTreeRemoveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeRemoveProperty, InterleavedInsertRemoveMatchesReference) {
+  Rng rng(GetParam());
+  const size_t dims = 2 + rng.Uniform(3);
+  RTree tree(dims, 4 + rng.Uniform(5));
+  std::map<ObjectId, std::vector<double>> reference;
+  ObjectId next_id = 1;
+
+  for (int step = 0; step < 400; ++step) {
+    if (reference.empty() || rng.Bernoulli(0.6)) {
+      const auto point = RandomPoint(dims, rng);
+      ASSERT_TRUE(tree.Insert(HyperRect::Point(point), next_id).ok());
+      reference.emplace(next_id, point);
+      ++next_id;
+    } else {
+      auto it = reference.begin();
+      std::advance(it, static_cast<ptrdiff_t>(
+                           rng.Uniform(reference.size())));
+      ASSERT_TRUE(
+          tree.Remove(HyperRect::Point(it->second), it->first).ok());
+      reference.erase(it);
+    }
+    if (step % 37 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << step << ": " << tree.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(tree.Size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // Query equivalence against the reference.
+  for (int q = 0; q < 10; ++q) {
+    HyperRect window;
+    window.min.resize(dims);
+    window.max.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      window.min[d] = rng.NextDouble() * 0.7;
+      window.max[d] = window.min[d] + 0.3;
+    }
+    auto got = tree.RangeSearch(window).value();
+    std::vector<ObjectId> expected;
+    for (const auto& [id, point] : reference) {
+      if (HyperRect::Point(point).Intersects(window)) {
+        expected.push_back(id);
+      }
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, RTreeRemoveProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(RTreeRemoveTest, DuplicateKeysRemoveOneAtATime) {
+  RTree tree(2);
+  const HyperRect point = HyperRect::Point({0.5, 0.5});
+  for (ObjectId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(tree.Insert(point, id).ok());
+  }
+  ASSERT_TRUE(tree.Remove(point, 5).ok());
+  EXPECT_EQ(tree.Size(), 9u);
+  auto hits = tree.RangeSearch(HyperRect{{0.4, 0.4}, {0.6, 0.6}}).value();
+  EXPECT_EQ(hits.size(), 9u);
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 5), 0);
+}
+
+}  // namespace
+}  // namespace mmdb

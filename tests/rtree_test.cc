@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/rtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+HyperRect RandomRect(size_t dims, Rng& rng) {
+  HyperRect rect;
+  rect.min.resize(dims);
+  rect.max.resize(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    const double a = rng.NextDouble();
+    const double b = a + rng.NextDouble() * 0.2;
+    rect.min[d] = a;
+    rect.max[d] = b;
+  }
+  return rect;
+}
+
+std::vector<double> RandomPoint(size_t dims, Rng& rng) {
+  std::vector<double> point(dims);
+  for (double& v : point) v = rng.NextDouble();
+  return point;
+}
+
+TEST(HyperRectTest, IntersectsAndContains) {
+  HyperRect a{{0, 0}, {2, 2}};
+  HyperRect b{{1, 1}, {3, 3}};
+  HyperRect c{{2.5, 2.5}, {4, 4}};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+  // Inclusive bounds: touching counts.
+  HyperRect d{{2, 0}, {3, 2}};
+  EXPECT_TRUE(a.Intersects(d));
+  EXPECT_TRUE(a.Contains(HyperRect{{0.5, 0.5}, {1.5, 1.5}}));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(HyperRectTest, VolumeAndEnlargement) {
+  HyperRect a{{0, 0}, {2, 3}};
+  EXPECT_DOUBLE_EQ(a.Volume(), 6.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+  HyperRect b{{0, 0}, {4, 3}};
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 6.0);
+  a.Enclose(b);
+  EXPECT_DOUBLE_EQ(a.Volume(), 12.0);
+}
+
+TEST(HyperRectTest, MinDistSquared) {
+  const HyperRect r{{1, 1}, {2, 2}};
+  EXPECT_DOUBLE_EQ(r.MinDistSquared({1.5, 1.5}), 0.0);  // Inside.
+  EXPECT_DOUBLE_EQ(r.MinDistSquared({0, 1.5}), 1.0);    // Left.
+  EXPECT_DOUBLE_EQ(r.MinDistSquared({0, 0}), 2.0);      // Corner.
+}
+
+TEST(RTreeTest, RejectsBadInput) {
+  RTree tree(2);
+  EXPECT_EQ(tree.Insert(HyperRect{{0}, {1}}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.Insert(HyperRect{{1, 1}, {0, 0}}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.RangeSearch(HyperRect{{0}, {1}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.Knn({0.0}, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RTreeTest, EmptyTreeSearches) {
+  RTree tree(3);
+  EXPECT_TRUE(tree.RangeSearch(HyperRect{{0, 0, 0}, {1, 1, 1}})
+                  .value()
+                  .empty());
+  EXPECT_TRUE(tree.Knn({0.5, 0.5, 0.5}, 3).value().empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+class RTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeProperty, RangeSearchMatchesLinearScan) {
+  Rng rng(GetParam());
+  const size_t dims = 1 + rng.Uniform(4);
+  RTree tree(dims);
+  std::vector<std::pair<HyperRect, ObjectId>> reference;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const HyperRect rect = RandomRect(dims, rng);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    ASSERT_TRUE(tree.Insert(rect, id).ok());
+    reference.emplace_back(rect, id);
+  }
+  EXPECT_EQ(tree.Size(), static_cast<size_t>(n));
+  ASSERT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+
+  for (int q = 0; q < 25; ++q) {
+    const HyperRect query = RandomRect(dims, rng);
+    auto got = tree.RangeSearch(query).value();
+    std::vector<ObjectId> expected;
+    for (const auto& [rect, id] : reference) {
+      if (rect.Intersects(query)) expected.push_back(id);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_P(RTreeProperty, KnnMatchesBruteForce) {
+  Rng rng(GetParam() + 1000);
+  const size_t dims = 2 + rng.Uniform(3);
+  RTree tree(dims);
+  std::vector<std::pair<std::vector<double>, ObjectId>> reference;
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> point = RandomPoint(dims, rng);
+    const ObjectId id = static_cast<ObjectId>(i + 1);
+    ASSERT_TRUE(tree.Insert(HyperRect::Point(point), id).ok());
+    reference.emplace_back(point, id);
+  }
+  for (int q = 0; q < 10; ++q) {
+    const std::vector<double> query = RandomPoint(dims, rng);
+    const size_t k = 1 + rng.Uniform(10);
+    const auto got = tree.Knn(query, k).value();
+    ASSERT_EQ(got.size(), std::min(k, reference.size()));
+
+    std::vector<double> brute;
+    for (const auto& [point, id] : reference) {
+      double sum = 0;
+      for (size_t d = 0; d < dims; ++d) {
+        sum += (point[d] - query[d]) * (point[d] - query[d]);
+      }
+      brute.push_back(std::sqrt(sum));
+    }
+    std::sort(brute.begin(), brute.end());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, brute[i], 1e-9) << "rank " << i;
+      if (i > 0) {
+        EXPECT_GE(got[i].second, got[i - 1].second);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, RTreeProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
+
+TEST(RTreeTest, GrowsInHeightAndKeepsInvariants) {
+  Rng rng(3);
+  RTree tree(2, /*max_entries=*/4);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        tree.Insert(HyperRect::Point(RandomPoint(2, rng)), i + 1).ok());
+    if (i % 50 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+    }
+  }
+  EXPECT_GE(tree.Height(), 3u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, DuplicateKeysAreAllRetrievable) {
+  RTree tree(2);
+  const HyperRect point = HyperRect::Point({0.5, 0.5});
+  for (ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(tree.Insert(point, id).ok());
+  }
+  auto got = tree.RangeSearch(HyperRect{{0.4, 0.4}, {0.6, 0.6}}).value();
+  EXPECT_EQ(got.size(), 20u);
+}
+
+}  // namespace
+}  // namespace mmdb

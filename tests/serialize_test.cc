@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "datasets/augment.h"
+#include "editops/serialize.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+EditScript SampleScript() {
+  EditScript script;
+  script.base_id = 77;
+  script.ops.emplace_back(DefineOp{Rect(1, 2, 30, 40)});
+  script.ops.emplace_back(CombineOp::GaussianBlur());
+  script.ops.emplace_back(ModifyOp{colors::kRed, colors::kNavy});
+  script.ops.emplace_back(MutateOp::Rotation(0.5, 16.0, 16.0));
+  MergeOp merge;
+  merge.target = 123456789;
+  merge.x = -4;
+  merge.y = 9;
+  script.ops.emplace_back(merge);
+  script.ops.emplace_back(MergeOp{});  // Null target.
+  return script;
+}
+
+TEST(SerializeTest, RoundTripAllOpTypes) {
+  const EditScript original = SampleScript();
+  Result<EditScript> decoded = DecodeEditScript(EncodeEditScript(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(SerializeTest, EmptyScriptRoundTrip) {
+  EditScript script;
+  script.base_id = 5;
+  Result<EditScript> decoded = DecodeEditScript(EncodeEditScript(script));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, script);
+}
+
+TEST(SerializeTest, RandomScriptsRoundTrip) {
+  Rng rng(55);
+  const std::vector<datasets::MergeTarget> targets = {{900, 32, 32},
+                                                      {901, 48, 24}};
+  for (int trial = 0; trial < 50; ++trial) {
+    const EditScript original = testing::RandomScript(
+        100 + static_cast<ObjectId>(trial), 40, 30,
+        static_cast<int>(rng.UniformInt(0, 12)), targets, rng);
+    Result<EditScript> decoded = DecodeEditScript(EncodeEditScript(original));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, original);
+  }
+}
+
+TEST(SerializeTest, RejectsEmptyBuffer) {
+  EXPECT_EQ(DecodeEditScript("").status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RejectsUnknownVersion) {
+  std::string data = EncodeEditScript(SampleScript());
+  data[0] = 99;
+  EXPECT_EQ(DecodeEditScript(data).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  const std::string data = EncodeEditScript(SampleScript());
+  // Every strict prefix must fail cleanly, never crash.
+  for (size_t len = 1; len < data.size(); ++len) {
+    EXPECT_FALSE(DecodeEditScript(data.substr(0, len)).ok()) << len;
+  }
+}
+
+TEST(SerializeTest, RejectsTrailingBytes) {
+  std::string data = EncodeEditScript(SampleScript());
+  data += "x";
+  EXPECT_EQ(DecodeEditScript(data).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, RejectsUnknownOpTag) {
+  EditScript script;
+  script.base_id = 1;
+  script.ops.emplace_back(MergeOp{});
+  std::string data = EncodeEditScript(script);
+  // The op tag byte sits right after version(1) + base(8) + count(4).
+  data[13] = 42;
+  EXPECT_EQ(DecodeEditScript(data).status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, EncodingIsCompact) {
+  // The whole point of edit-sequence storage: a script is a few dozen
+  // bytes where the raster would be kilobytes.
+  const std::string data = EncodeEditScript(SampleScript());
+  EXPECT_LT(data.size(), 300u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,128 @@
+#include "test_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmdb::testing {
+
+std::vector<Rgb> TestPalette() {
+  return {colors::kRed,   colors::kGreen, colors::kBlue, colors::kYellow,
+          colors::kWhite, colors::kBlack, colors::kGold, colors::kNavy};
+}
+
+Image RandomBlockImage(int32_t width, int32_t height, int palette_size,
+                       Rng& rng) {
+  const std::vector<Rgb> palette = TestPalette();
+  const size_t n = std::min<size_t>(palette.size(),
+                                    static_cast<size_t>(palette_size));
+  Image image(width, height, palette[rng.Uniform(n)]);
+  const int blocks = static_cast<int>(rng.UniformInt(2, 8));
+  for (int b = 0; b < blocks; ++b) {
+    const int32_t w = static_cast<int32_t>(rng.UniformInt(1, width));
+    const int32_t h = static_cast<int32_t>(rng.UniformInt(1, height));
+    const int32_t x = static_cast<int32_t>(rng.UniformInt(0, width - 1));
+    const int32_t y = static_cast<int32_t>(rng.UniformInt(0, height - 1));
+    image.Fill(Rect(x, y, x + w, y + h), palette[rng.Uniform(n)]);
+  }
+  return image;
+}
+
+EditScript RandomScript(
+    ObjectId base_id, int32_t width, int32_t height, int op_count,
+    const std::vector<datasets::MergeTarget>& merge_targets, Rng& rng) {
+  EditScript script;
+  script.base_id = base_id;
+  const std::vector<Rgb> palette = TestPalette();
+  int32_t cur_w = width, cur_h = height;
+  Rect dr = Rect::Full(cur_w, cur_h);
+
+  while (static_cast<int>(script.ops.size()) < op_count) {
+    switch (rng.Uniform(8)) {
+      case 0: {  // Define a random sub-rectangle (always non-empty).
+        const int32_t w = static_cast<int32_t>(rng.UniformInt(1, cur_w));
+        const int32_t h = static_cast<int32_t>(rng.UniformInt(1, cur_h));
+        const int32_t x = static_cast<int32_t>(rng.UniformInt(0, cur_w - w));
+        const int32_t y = static_cast<int32_t>(rng.UniformInt(0, cur_h - h));
+        const DefineOp op{Rect(x, y, x + w, y + h)};
+        dr = op.region;
+        script.ops.emplace_back(op);
+        break;
+      }
+      case 1: {  // Modify.
+        ModifyOp op;
+        op.old_color = palette[rng.Uniform(palette.size())];
+        op.new_color = palette[rng.Uniform(palette.size())];
+        script.ops.emplace_back(op);
+        break;
+      }
+      case 2:  // Combine.
+        script.ops.emplace_back(rng.Bernoulli(0.5)
+                                    ? CombineOp::BoxBlur()
+                                    : CombineOp::GaussianBlur());
+        break;
+      case 3: {  // Rigid-body Mutate (translation or arbitrary rotation).
+        if (rng.Bernoulli(0.5)) {
+          script.ops.emplace_back(MutateOp::Translation(
+              static_cast<double>(rng.UniformInt(-cur_w / 3, cur_w / 3)),
+              static_cast<double>(rng.UniformInt(-cur_h / 3, cur_h / 3))));
+        } else {
+          script.ops.emplace_back(MutateOp::Rotation(
+              rng.UniformDouble(0.1, 3.0), (dr.x0 + dr.x1) / 2.0,
+              (dr.y0 + dr.y1) / 2.0));
+        }
+        break;
+      }
+      case 4: {  // Whole-image scale, integer or fractional.
+        if (cur_w > 200 || cur_h > 200 || cur_w < 8 || cur_h < 8) break;
+        script.ops.emplace_back(DefineOp{Rect::Full(cur_w, cur_h)});
+        static constexpr double kScales[] = {0.5, 0.75, 1.5, 2.0};
+        const double sx = kScales[rng.Uniform(4)];
+        const double sy = kScales[rng.Uniform(4)];
+        script.ops.emplace_back(MutateOp::Scale(sx, sy));
+        cur_w = static_cast<int32_t>(std::lround(cur_w * sx));
+        cur_h = static_cast<int32_t>(std::lround(cur_h * sy));
+        dr = Rect::Full(cur_w, cur_h);
+        break;
+      }
+      case 5: {  // General affine stamp: shear about the DR.
+        MutateOp op;
+        const double shear = rng.UniformDouble(-0.5, 0.5);
+        op.m = {1, shear, static_cast<double>(rng.UniformInt(-8, 8)),
+                0, 1,     static_cast<double>(rng.UniformInt(-8, 8)),
+                0, 0,     1};
+        script.ops.emplace_back(op);
+        break;
+      }
+      case 6: {  // Merge(NULL) crop.
+        const Rect clipped = dr.Intersect(Rect::Full(cur_w, cur_h));
+        if (clipped.Empty()) break;
+        script.ops.emplace_back(MergeOp{});
+        cur_w = clipped.Width();
+        cur_h = clipped.Height();
+        dr = Rect::Full(cur_w, cur_h);
+        break;
+      }
+      default: {  // Merge into a target, when allowed.
+        if (merge_targets.empty()) break;
+        const datasets::MergeTarget& target =
+            merge_targets[rng.Uniform(merge_targets.size())];
+        MergeOp op;
+        op.target = target.id;
+        op.x = static_cast<int32_t>(rng.UniformInt(-8, target.width - 1));
+        op.y = static_cast<int32_t>(rng.UniformInt(-8, target.height - 1));
+        script.ops.emplace_back(op);
+        cur_w = target.width;
+        cur_h = target.height;
+        dr = Rect::Full(cur_w, cur_h);
+        break;
+      }
+    }
+  }
+  return script;
+}
+
+std::set<ObjectId> AsSet(const std::vector<ObjectId>& ids) {
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace mmdb::testing

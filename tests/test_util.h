@@ -1,0 +1,40 @@
+#ifndef MMDB_TESTS_TEST_UTIL_H_
+#define MMDB_TESTS_TEST_UTIL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "datasets/augment.h"
+#include "editops/edit_ops.h"
+#include "image/image.h"
+#include "util/random.h"
+
+namespace mmdb::testing {
+
+/// A random image whose pixels are drawn from `palette_size` saturated
+/// palette colors in random rectangles — shaped like the datasets the
+/// system targets (few colors, large regions).
+Image RandomBlockImage(int32_t width, int32_t height, int palette_size,
+                       Rng& rng);
+
+/// The palette `RandomBlockImage` draws from.
+std::vector<Rgb> TestPalette();
+
+/// A random, always-valid edit script over a `width` x `height` base
+/// image. Exercises every op type, including fractional whole-image
+/// scales, shears (general affine stamps), and — when `merge_targets` is
+/// non-empty — Merges into real targets. Broader than the dataset
+/// generator's scripts; used by the soundness property suite.
+EditScript RandomScript(ObjectId base_id, int32_t width, int32_t height,
+                        int op_count,
+                        const std::vector<datasets::MergeTarget>& merge_targets,
+                        Rng& rng);
+
+/// Sorts a result id vector into a set for order-insensitive comparison.
+std::set<ObjectId> AsSet(const std::vector<ObjectId>& ids);
+
+}  // namespace mmdb::testing
+
+#endif  // MMDB_TESTS_TEST_UTIL_H_

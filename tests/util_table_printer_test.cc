@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace mmdb {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Cell(int64_t{-5}), "-5");
+  EXPECT_EQ(TablePrinter::Cell(uint64_t{7}), "7");
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(1.0, 0), "1");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCharacters) {
+  TablePrinter table({"k", "v"});
+  table.AddRow({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TablePrinterTest, CsvPlainCellsUnquoted) {
+  TablePrinter table({"x"});
+  table.AddRow({"plain"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x\nplain\n");
+}
+
+}  // namespace
+}  // namespace mmdb
