@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_parallel.dir/bench_ablate_parallel.cc.o"
+  "CMakeFiles/bench_ablate_parallel.dir/bench_ablate_parallel.cc.o.d"
+  "CMakeFiles/bench_ablate_parallel.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablate_parallel.dir/bench_common.cc.o.d"
+  "bench_ablate_parallel"
+  "bench_ablate_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

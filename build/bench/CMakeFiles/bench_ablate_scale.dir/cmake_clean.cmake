@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_scale.dir/bench_ablate_scale.cc.o"
+  "CMakeFiles/bench_ablate_scale.dir/bench_ablate_scale.cc.o.d"
+  "CMakeFiles/bench_ablate_scale.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablate_scale.dir/bench_common.cc.o.d"
+  "bench_ablate_scale"
+  "bench_ablate_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_selectivity.dir/bench_ablate_selectivity.cc.o"
+  "CMakeFiles/bench_ablate_selectivity.dir/bench_ablate_selectivity.cc.o.d"
+  "CMakeFiles/bench_ablate_selectivity.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablate_selectivity.dir/bench_common.cc.o.d"
+  "bench_ablate_selectivity"
+  "bench_ablate_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

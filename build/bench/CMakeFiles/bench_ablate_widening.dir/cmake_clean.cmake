@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_widening.dir/bench_ablate_widening.cc.o"
+  "CMakeFiles/bench_ablate_widening.dir/bench_ablate_widening.cc.o.d"
+  "CMakeFiles/bench_ablate_widening.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablate_widening.dir/bench_common.cc.o.d"
+  "bench_ablate_widening"
+  "bench_ablate_widening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_widening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

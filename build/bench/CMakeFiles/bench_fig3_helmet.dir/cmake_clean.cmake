@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_helmet.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig3_helmet.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig3_helmet.dir/bench_fig3_helmet.cc.o"
+  "CMakeFiles/bench_fig3_helmet.dir/bench_fig3_helmet.cc.o.d"
+  "bench_fig3_helmet"
+  "bench_fig3_helmet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_helmet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

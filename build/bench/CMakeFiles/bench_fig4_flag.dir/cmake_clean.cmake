@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_flag.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig4_flag.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig4_flag.dir/bench_fig4_flag.cc.o"
+  "CMakeFiles/bench_fig4_flag.dir/bench_fig4_flag.cc.o.d"
+  "bench_fig4_flag"
+  "bench_fig4_flag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_flag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_delta_archive.dir/delta_archive.cpp.o"
+  "CMakeFiles/example_delta_archive.dir/delta_archive.cpp.o.d"
+  "delta_archive"
+  "delta_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_delta_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

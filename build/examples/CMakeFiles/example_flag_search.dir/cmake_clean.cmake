@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flag_search.dir/flag_search.cpp.o"
+  "CMakeFiles/example_flag_search.dir/flag_search.cpp.o.d"
+  "flag_search"
+  "flag_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flag_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_helmet_retrieval.dir/helmet_retrieval.cpp.o"
+  "CMakeFiles/example_helmet_retrieval.dir/helmet_retrieval.cpp.o.d"
+  "helmet_retrieval"
+  "helmet_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_helmet_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_road_signs.dir/road_signs.cpp.o"
+  "CMakeFiles/example_road_signs.dir/road_signs.cpp.o.d"
+  "road_signs"
+  "road_signs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_road_signs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

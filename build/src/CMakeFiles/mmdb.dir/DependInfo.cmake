@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/mmdb.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/bwm.cc" "src/CMakeFiles/mmdb.dir/core/bwm.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/bwm.cc.o.d"
+  "/root/repo/src/core/collection.cc" "src/CMakeFiles/mmdb.dir/core/collection.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/collection.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/mmdb.dir/core/database.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/database.cc.o.d"
+  "/root/repo/src/core/dominant.cc" "src/CMakeFiles/mmdb.dir/core/dominant.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/dominant.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/CMakeFiles/mmdb.dir/core/histogram.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/histogram.cc.o.d"
+  "/root/repo/src/core/instantiate.cc" "src/CMakeFiles/mmdb.dir/core/instantiate.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/instantiate.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/CMakeFiles/mmdb.dir/core/parallel.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/parallel.cc.o.d"
+  "/root/repo/src/core/quantizer.cc" "src/CMakeFiles/mmdb.dir/core/quantizer.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/quantizer.cc.o.d"
+  "/root/repo/src/core/query_parser.cc" "src/CMakeFiles/mmdb.dir/core/query_parser.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/query_parser.cc.o.d"
+  "/root/repo/src/core/rbm.cc" "src/CMakeFiles/mmdb.dir/core/rbm.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/rbm.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/CMakeFiles/mmdb.dir/core/rules.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/rules.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/mmdb.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/similarity.cc.o.d"
+  "/root/repo/src/datasets/augment.cc" "src/CMakeFiles/mmdb.dir/datasets/augment.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/datasets/augment.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/CMakeFiles/mmdb.dir/datasets/generators.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/datasets/generators.cc.o.d"
+  "/root/repo/src/datasets/recipes.cc" "src/CMakeFiles/mmdb.dir/datasets/recipes.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/datasets/recipes.cc.o.d"
+  "/root/repo/src/editops/delta.cc" "src/CMakeFiles/mmdb.dir/editops/delta.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/editops/delta.cc.o.d"
+  "/root/repo/src/editops/dsl.cc" "src/CMakeFiles/mmdb.dir/editops/dsl.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/editops/dsl.cc.o.d"
+  "/root/repo/src/editops/edit_ops.cc" "src/CMakeFiles/mmdb.dir/editops/edit_ops.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/editops/edit_ops.cc.o.d"
+  "/root/repo/src/editops/optimize.cc" "src/CMakeFiles/mmdb.dir/editops/optimize.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/editops/optimize.cc.o.d"
+  "/root/repo/src/editops/serialize.cc" "src/CMakeFiles/mmdb.dir/editops/serialize.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/editops/serialize.cc.o.d"
+  "/root/repo/src/features/shape.cc" "src/CMakeFiles/mmdb.dir/features/shape.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/features/shape.cc.o.d"
+  "/root/repo/src/features/signature.cc" "src/CMakeFiles/mmdb.dir/features/signature.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/features/signature.cc.o.d"
+  "/root/repo/src/features/texture.cc" "src/CMakeFiles/mmdb.dir/features/texture.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/features/texture.cc.o.d"
+  "/root/repo/src/image/color.cc" "src/CMakeFiles/mmdb.dir/image/color.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/image/color.cc.o.d"
+  "/root/repo/src/image/draw.cc" "src/CMakeFiles/mmdb.dir/image/draw.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/image/draw.cc.o.d"
+  "/root/repo/src/image/editor.cc" "src/CMakeFiles/mmdb.dir/image/editor.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/image/editor.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/CMakeFiles/mmdb.dir/image/image.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/image/image.cc.o.d"
+  "/root/repo/src/image/ppm_io.cc" "src/CMakeFiles/mmdb.dir/image/ppm_io.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/image/ppm_io.cc.o.d"
+  "/root/repo/src/index/histogram_index.cc" "src/CMakeFiles/mmdb.dir/index/histogram_index.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/index/histogram_index.cc.o.d"
+  "/root/repo/src/index/indexed_bwm.cc" "src/CMakeFiles/mmdb.dir/index/indexed_bwm.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/index/indexed_bwm.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/mmdb.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/index/rtree.cc.o.d"
+  "/root/repo/src/storage/blob_store.cc" "src/CMakeFiles/mmdb.dir/storage/blob_store.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/blob_store.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/mmdb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/mmdb.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/mmdb.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/journal.cc" "src/CMakeFiles/mmdb.dir/storage/journal.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/journal.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/mmdb.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mmdb.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mmdb.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/mmdb.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

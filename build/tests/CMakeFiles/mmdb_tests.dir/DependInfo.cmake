@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bounds_property_test.cc" "tests/CMakeFiles/mmdb_tests.dir/bounds_property_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/bounds_property_test.cc.o.d"
+  "/root/repo/tests/buffer_pool_stress_test.cc" "tests/CMakeFiles/mmdb_tests.dir/buffer_pool_stress_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/buffer_pool_stress_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/mmdb_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/mmdb_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/collection_test.cc" "tests/CMakeFiles/mmdb_tests.dir/collection_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/collection_test.cc.o.d"
+  "/root/repo/tests/color_test.cc" "tests/CMakeFiles/mmdb_tests.dir/color_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/color_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/mmdb_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/concurrency_test.cc.o.d"
+  "/root/repo/tests/conjunctive_test.cc" "tests/CMakeFiles/mmdb_tests.dir/conjunctive_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/conjunctive_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/mmdb_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/mmdb_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/datasets_test.cc.o.d"
+  "/root/repo/tests/deletion_test.cc" "tests/CMakeFiles/mmdb_tests.dir/deletion_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/deletion_test.cc.o.d"
+  "/root/repo/tests/delta_test.cc" "tests/CMakeFiles/mmdb_tests.dir/delta_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/delta_test.cc.o.d"
+  "/root/repo/tests/dominant_test.cc" "tests/CMakeFiles/mmdb_tests.dir/dominant_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/dominant_test.cc.o.d"
+  "/root/repo/tests/draw_test.cc" "tests/CMakeFiles/mmdb_tests.dir/draw_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/draw_test.cc.o.d"
+  "/root/repo/tests/dsl_test.cc" "tests/CMakeFiles/mmdb_tests.dir/dsl_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/dsl_test.cc.o.d"
+  "/root/repo/tests/edit_ops_test.cc" "tests/CMakeFiles/mmdb_tests.dir/edit_ops_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/edit_ops_test.cc.o.d"
+  "/root/repo/tests/editor_edge_test.cc" "tests/CMakeFiles/mmdb_tests.dir/editor_edge_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/editor_edge_test.cc.o.d"
+  "/root/repo/tests/editor_test.cc" "tests/CMakeFiles/mmdb_tests.dir/editor_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/editor_test.cc.o.d"
+  "/root/repo/tests/features_test.cc" "tests/CMakeFiles/mmdb_tests.dir/features_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/features_test.cc.o.d"
+  "/root/repo/tests/fuzz_robustness_test.cc" "tests/CMakeFiles/mmdb_tests.dir/fuzz_robustness_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/fuzz_robustness_test.cc.o.d"
+  "/root/repo/tests/histogram_index_test.cc" "tests/CMakeFiles/mmdb_tests.dir/histogram_index_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/histogram_index_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/mmdb_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/hsv_quantizer_test.cc" "tests/CMakeFiles/mmdb_tests.dir/hsv_quantizer_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/hsv_quantizer_test.cc.o.d"
+  "/root/repo/tests/image_test.cc" "tests/CMakeFiles/mmdb_tests.dir/image_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/image_test.cc.o.d"
+  "/root/repo/tests/indexed_bwm_test.cc" "tests/CMakeFiles/mmdb_tests.dir/indexed_bwm_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/indexed_bwm_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/mmdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/integrity_test.cc" "tests/CMakeFiles/mmdb_tests.dir/integrity_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/integrity_test.cc.o.d"
+  "/root/repo/tests/journal_test.cc" "tests/CMakeFiles/mmdb_tests.dir/journal_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/journal_test.cc.o.d"
+  "/root/repo/tests/luv_test.cc" "tests/CMakeFiles/mmdb_tests.dir/luv_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/luv_test.cc.o.d"
+  "/root/repo/tests/optimize_test.cc" "tests/CMakeFiles/mmdb_tests.dir/optimize_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/optimize_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/mmdb_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/ppm_io_test.cc" "tests/CMakeFiles/mmdb_tests.dir/ppm_io_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/ppm_io_test.cc.o.d"
+  "/root/repo/tests/quantizer_test.cc" "tests/CMakeFiles/mmdb_tests.dir/quantizer_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/quantizer_test.cc.o.d"
+  "/root/repo/tests/query_parser_test.cc" "tests/CMakeFiles/mmdb_tests.dir/query_parser_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/query_parser_test.cc.o.d"
+  "/root/repo/tests/rbm_bwm_test.cc" "tests/CMakeFiles/mmdb_tests.dir/rbm_bwm_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/rbm_bwm_test.cc.o.d"
+  "/root/repo/tests/recipes_test.cc" "tests/CMakeFiles/mmdb_tests.dir/recipes_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/recipes_test.cc.o.d"
+  "/root/repo/tests/rtree_bulk_test.cc" "tests/CMakeFiles/mmdb_tests.dir/rtree_bulk_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/rtree_bulk_test.cc.o.d"
+  "/root/repo/tests/rtree_remove_test.cc" "tests/CMakeFiles/mmdb_tests.dir/rtree_remove_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/rtree_remove_test.cc.o.d"
+  "/root/repo/tests/rtree_test.cc" "tests/CMakeFiles/mmdb_tests.dir/rtree_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/rtree_test.cc.o.d"
+  "/root/repo/tests/rules_test.cc" "tests/CMakeFiles/mmdb_tests.dir/rules_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/rules_test.cc.o.d"
+  "/root/repo/tests/scale_test.cc" "tests/CMakeFiles/mmdb_tests.dir/scale_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/scale_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/mmdb_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/similarity_range_test.cc" "tests/CMakeFiles/mmdb_tests.dir/similarity_range_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/similarity_range_test.cc.o.d"
+  "/root/repo/tests/similarity_test.cc" "tests/CMakeFiles/mmdb_tests.dir/similarity_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/similarity_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/mmdb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/strict_mode_test.cc" "tests/CMakeFiles/mmdb_tests.dir/strict_mode_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/strict_mode_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/mmdb_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/util_random_test.cc" "tests/CMakeFiles/mmdb_tests.dir/util_random_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/util_random_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/mmdb_tests.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/util_status_test.cc.o.d"
+  "/root/repo/tests/util_table_printer_test.cc" "tests/CMakeFiles/mmdb_tests.dir/util_table_printer_test.cc.o" "gcc" "tests/CMakeFiles/mmdb_tests.dir/util_table_printer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_cli.dir/mmdb_cli.cc.o"
+  "CMakeFiles/mmdb_cli.dir/mmdb_cli.cc.o.d"
+  "mmdb_cli"
+  "mmdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
