@@ -1,0 +1,188 @@
+// Query service throughput: batched concurrent execution on the
+// persistent pool versus serial single-query facade dispatch, swept over
+// batch size x service threads (beyond-paper; the serving-shaped
+// counterpart of Ablation D's intra-query scaling).
+//
+// The harness first proves correctness — ExecuteBatch answers on the
+// helmet and flag collections must be identical (ids and order) to
+// serial RunRange / RunConjunctive for every QueryMethod — and only then
+// times the sweep.
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/query_service.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace mmdb {
+namespace {
+
+const QueryMethod kAllMethods[] = {
+    QueryMethod::kInstantiate, QueryMethod::kRbm, QueryMethod::kBwm,
+    QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm};
+
+Result<QueryResult> RunSerial(const MultimediaDatabase& db,
+                              const QueryRequest& request) {
+  if (request.range.has_value()) {
+    return db.RunRange(*request.range, request.method);
+  }
+  return db.RunConjunctive(*request.conjunctive, request.method);
+}
+
+/// ExecuteBatch vs serial dispatch over every method; returns false (and
+/// prints the first mismatch) unless all answers are identical.
+bool VerifyCollection(const std::string& name, const MultimediaDatabase& db,
+                      const std::vector<RangeQuery>& windows) {
+  std::vector<QueryRequest> requests;
+  for (QueryMethod method : kAllMethods) {
+    for (const RangeQuery& window : windows) {
+      requests.push_back(QueryRequest::Range(window, method));
+    }
+    for (size_t i = 0; i + 1 < windows.size(); i += 2) {
+      ConjunctiveQuery conjunctive;
+      conjunctive.conjuncts.push_back(windows[i]);
+      conjunctive.conjuncts.push_back(windows[i + 1]);
+      requests.push_back(QueryRequest::Conjunctive(conjunctive, method));
+    }
+  }
+  QueryService service(&db, QueryServiceOptions{8});
+  const auto batched = service.ExecuteBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto serial = RunSerial(db, requests[i]);
+    if (!serial.ok() || !batched[i].ok() ||
+        serial->ids != batched[i]->ids) {
+      std::cerr << name << ": batched answer diverges from serial for "
+                << "method " << QueryMethodName(requests[i].method)
+                << " request " << i << "\n";
+      return false;
+    }
+  }
+  std::cout << name << ": " << requests.size()
+            << " batched answers identical to serial dispatch (all "
+            << std::size(kAllMethods) << " methods)\n";
+  return true;
+}
+
+int Run() {
+  std::cout << "=== Query service: batched throughput vs serial dispatch "
+               "===\n"
+            << "hardware threads available: "
+            << std::thread::hardware_concurrency()
+            << " (speedups track physical cores; on few-core machines "
+               "the flat tail is the correct reading)\n\n";
+
+  // The paper's two workload shapes: helmet (few colors, heavy scripts)
+  // and flag (Figure 4's collection).
+  datasets::DatasetSpec helmet_spec;
+  helmet_spec.kind = datasets::DatasetKind::kHelmets;
+  helmet_spec.total_images = 600;
+  helmet_spec.edited_fraction = 0.85;
+  helmet_spec.min_ops = 6;
+  helmet_spec.max_ops = 12;
+  helmet_spec.seed = 41001;
+  datasets::DatasetSpec flag_spec;
+  flag_spec.kind = datasets::DatasetKind::kFlags;
+  flag_spec.total_images = 400;
+  flag_spec.edited_fraction = 0.8;
+  flag_spec.seed = 41003;
+
+  auto helmets = bench::BuildDatabase(helmet_spec, nullptr);
+  auto flags = bench::BuildDatabase(flag_spec, nullptr);
+  if (!helmets.ok() || !flags.ok()) {
+    std::cerr << "dataset build failed\n";
+    return 1;
+  }
+
+  Rng rng(41005);
+  const auto helmet_windows = datasets::MakeGroundedRangeWorkload(
+      (*helmets)->collection(), (*helmets)->quantizer(),
+      datasets::HelmetPalette(), 12, rng);
+  const auto flag_windows = datasets::MakeGroundedRangeWorkload(
+      (*flags)->collection(), (*flags)->quantizer(),
+      datasets::FlagPalette(), 12, rng);
+
+  if (!VerifyCollection("helmet", **helmets, helmet_windows) ||
+      !VerifyCollection("flag", **flags, flag_windows)) {
+    return 1;
+  }
+  std::cout << "\n";
+
+  // Throughput sweep on the helmet collection with the RBM access path
+  // (the heaviest per-query work, so inter-query parallelism has
+  // something to chew on).
+  const MultimediaDatabase& db = **helmets;
+  const int rounds = 7;
+
+  TablePrinter table({"batch", "threads", "queries/s", "ms/query",
+                      "speedup vs serial"});
+  for (int batch_size : {8, 32, 128}) {
+    std::vector<QueryRequest> batch;
+    batch.reserve(static_cast<size_t>(batch_size));
+    for (int i = 0; i < batch_size; ++i) {
+      batch.push_back(QueryRequest::Range(
+          helmet_windows[static_cast<size_t>(i) % helmet_windows.size()],
+          QueryMethod::kRbm));
+    }
+
+    // Serial single-query dispatch baseline (median of rounds).
+    std::vector<double> serial_rounds;
+    for (int r = 0; r < rounds; ++r) {
+      Stopwatch watch;
+      for (const QueryRequest& request : batch) {
+        if (!RunSerial(db, request).ok()) return 1;
+      }
+      serial_rounds.push_back(watch.ElapsedSeconds());
+    }
+    std::sort(serial_rounds.begin(), serial_rounds.end());
+    const double serial_seconds = serial_rounds[serial_rounds.size() / 2];
+    table.AddRow({TablePrinter::Cell(batch_size), "serial",
+                  TablePrinter::Cell(batch_size / serial_seconds, 1),
+                  TablePrinter::Cell(serial_seconds / batch_size * 1e3, 4),
+                  TablePrinter::Cell(1.0, 2)});
+
+    for (int threads : {1, 2, 4, 8}) {
+      QueryService service(&db, QueryServiceOptions{threads});
+      (void)service.ExecuteBatch(batch);  // Warm-up.
+      std::vector<double> pooled_rounds;
+      for (int r = 0; r < rounds; ++r) {
+        Stopwatch watch;
+        const auto results = service.ExecuteBatch(batch);
+        pooled_rounds.push_back(watch.ElapsedSeconds());
+        for (const auto& result : results) {
+          if (!result.ok()) return 1;
+        }
+      }
+      std::sort(pooled_rounds.begin(), pooled_rounds.end());
+      const double pooled_seconds = pooled_rounds[pooled_rounds.size() / 2];
+      table.AddRow({TablePrinter::Cell(batch_size),
+                    TablePrinter::Cell(threads),
+                    TablePrinter::Cell(batch_size / pooled_seconds, 1),
+                    TablePrinter::Cell(pooled_seconds / batch_size * 1e3, 4),
+                    TablePrinter::Cell(serial_seconds / pooled_seconds, 2)});
+    }
+  }
+  table.Print(std::cout);
+
+  QueryService service(&db, QueryServiceOptions{8});
+  std::vector<QueryRequest> final_batch;
+  for (const RangeQuery& window : helmet_windows) {
+    final_batch.push_back(QueryRequest::Range(window, QueryMethod::kBwm));
+  }
+  (void)service.ExecuteBatch(final_batch);
+  std::cout << "\nService counter snapshot after one BWM batch:\n";
+  service.Snapshot().PrintTo(std::cout);
+  std::cout << "\nExpected shape: throughput scales with min(threads, "
+               "cores) and grows with batch size as pool dispatch costs "
+               "amortize; the serial row is the single-query facade "
+               "dispatch the service replaces.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main() { return mmdb::Run(); }

@@ -6,6 +6,7 @@
 
 #include "core/collection.h"
 #include "core/query.h"
+#include "core/query_processor.h"
 #include "core/rules.h"
 #include "util/result.h"
 
@@ -72,21 +73,22 @@ class BwmIndex {
 /// image, it falls back to the RBM bounds computation.
 ///
 /// Produces exactly the same result set as `RbmQueryProcessor`.
-class BwmQueryProcessor {
+class BwmQueryProcessor : public QueryProcessor {
  public:
   /// All referents must outlive the processor.
   BwmQueryProcessor(const AugmentedCollection* collection,
                     const BwmIndex* index, const RuleEngine* engine);
 
   /// Runs `query` ("with data structure").
-  Result<QueryResult> RunRange(const RangeQuery& query) const;
+  Result<QueryResult> RunRange(const RangeQuery& query) const override;
 
   /// Conjunctive variant: a Main cluster is accepted wholesale when its
   /// base satisfies *every* conjunct (the widening argument applies
   /// per bin, so each member's per-conjunct range contains the base's
   /// satisfying value). Identical result sets to
   /// `RbmQueryProcessor::RunConjunctive`.
-  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query) const;
+  Result<QueryResult> RunConjunctive(
+      const ConjunctiveQuery& query) const override;
 
  private:
   const AugmentedCollection* collection_;

@@ -1,13 +1,122 @@
 #include "core/database.h"
 
+#include <map>
 #include <memory>
 #include <set>
+#include <shared_mutex>
+#include <thread>
 
+#include "core/executor.h"
+#include "core/parallel.h"
 #include "editops/serialize.h"
 #include "index/indexed_bwm.h"
 #include "image/ppm_io.h"
 
 namespace mmdb {
+
+std::string_view QueryMethodName(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kInstantiate:
+      return "instantiate";
+    case QueryMethod::kRbm:
+      return "rbm";
+    case QueryMethod::kBwm:
+      return "bwm";
+    case QueryMethod::kBwmIndexed:
+      return "bwm-indexed";
+    case QueryMethod::kParallelRbm:
+      return "parallel-rbm";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The process-wide method→factory registry behind `MakeProcessor`.
+/// Reads (every query) take the shared lock; registration is rare.
+struct ProcessorRegistry {
+  std::shared_mutex mu;
+  std::map<QueryMethod, MultimediaDatabase::QueryProcessorFactory> factories;
+
+  static ProcessorRegistry& Instance() {
+    static ProcessorRegistry* registry = [] {
+      auto* r = new ProcessorRegistry();
+      r->factories[QueryMethod::kInstantiate] =
+          [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
+        return std::make_unique<InstantiationQueryProcessor>(
+            &db.collection(), &db.quantizer(), db.MakePixelResolver());
+      };
+      r->factories[QueryMethod::kRbm] =
+          [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
+        return std::make_unique<RbmQueryProcessor>(&db.collection(),
+                                                   &db.rule_engine());
+      };
+      r->factories[QueryMethod::kBwm] =
+          [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
+        return std::make_unique<BwmQueryProcessor>(
+            &db.collection(), &db.bwm_index(), &db.rule_engine());
+      };
+      r->factories[QueryMethod::kBwmIndexed] =
+          [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
+        return std::make_unique<IndexedBwmQueryProcessor>(
+            &db.collection(), &db.bwm_index(), &db.rule_engine(),
+            &db.histogram_index());
+      };
+      r->factories[QueryMethod::kParallelRbm] =
+          [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
+        return std::make_unique<ParallelRbmQueryProcessor>(
+            &db.collection(), &db.rule_engine(), db.shared_executor());
+      };
+      return r;
+    }();
+    return *registry;
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<QueryProcessor>> MultimediaDatabase::MakeProcessor(
+    QueryMethod method) const {
+  QueryProcessorFactory factory;
+  {
+    ProcessorRegistry& registry = ProcessorRegistry::Instance();
+    std::shared_lock<std::shared_mutex> lock(registry.mu);
+    auto it = registry.factories.find(method);
+    if (it == registry.factories.end()) {
+      return Status::InvalidArgument(
+          "no query processor registered for method " +
+          std::to_string(static_cast<int>(method)));
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<QueryProcessor> processor = factory(*this);
+  if (processor == nullptr) {
+    return Status::Internal("query processor factory returned null");
+  }
+  return processor;
+}
+
+void MultimediaDatabase::RegisterQueryMethod(QueryMethod method,
+                                             QueryProcessorFactory factory) {
+  ProcessorRegistry& registry = ProcessorRegistry::Instance();
+  std::unique_lock<std::shared_mutex> lock(registry.mu);
+  registry.factories[method] = std::move(factory);
+}
+
+Executor* MultimediaDatabase::shared_executor() const {
+  std::call_once(executor_once_, [this] {
+    int threads = options_.query_threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    // The querying thread participates in every scan, so the pool holds
+    // one worker fewer than the parallelism target.
+    query_executor_ = std::make_unique<Executor>(std::max(1, threads) - 1);
+  });
+  return query_executor_.get();
+}
+
+MultimediaDatabase::~MultimediaDatabase() = default;
 
 MultimediaDatabase::MultimediaDatabase(DatabaseOptions options)
     : options_(std::move(options)),
@@ -231,27 +340,9 @@ Result<QueryResult> MultimediaDatabase::RunRange(const RangeQuery& query,
   if (query.min_fraction > query.max_fraction) {
     return Status::InvalidArgument("query range is empty");
   }
-  switch (method) {
-    case QueryMethod::kInstantiate: {
-      InstantiationQueryProcessor processor(&collection_, &quantizer_,
-                                            MakePixelResolver());
-      return processor.RunRange(query);
-    }
-    case QueryMethod::kRbm: {
-      RbmQueryProcessor processor(&collection_, &rule_engine_);
-      return processor.RunRange(query);
-    }
-    case QueryMethod::kBwm: {
-      BwmQueryProcessor processor(&collection_, &bwm_index_, &rule_engine_);
-      return processor.RunRange(query);
-    }
-    case QueryMethod::kBwmIndexed: {
-      IndexedBwmQueryProcessor processor(&collection_, &bwm_index_,
-                                         &rule_engine_, &histogram_index_);
-      return processor.RunRange(query);
-    }
-  }
-  return Status::InvalidArgument("unknown query method");
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
+                        MakeProcessor(method));
+  return processor->RunRange(query);
 }
 
 Result<QueryResult> MultimediaDatabase::RunConjunctive(
@@ -267,25 +358,9 @@ Result<QueryResult> MultimediaDatabase::RunConjunctive(
       return Status::InvalidArgument("conjunct range is empty");
     }
   }
-  switch (method) {
-    case QueryMethod::kInstantiate: {
-      InstantiationQueryProcessor processor(&collection_, &quantizer_,
-                                            MakePixelResolver());
-      return processor.RunConjunctive(query);
-    }
-    case QueryMethod::kRbm: {
-      RbmQueryProcessor processor(&collection_, &rule_engine_);
-      return processor.RunConjunctive(query);
-    }
-    case QueryMethod::kBwm:
-    case QueryMethod::kBwmIndexed: {
-      // The R-tree probes one bin per search; conjunctions use the plain
-      // BWM path.
-      BwmQueryProcessor processor(&collection_, &bwm_index_, &rule_engine_);
-      return processor.RunConjunctive(query);
-    }
-  }
-  return Status::InvalidArgument("unknown query method");
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
+                        MakeProcessor(method));
+  return processor->RunConjunctive(query);
 }
 
 Status MultimediaDatabase::DeleteImage(ObjectId id) {

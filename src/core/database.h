@@ -3,13 +3,16 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 
 #include "core/bwm.h"
 #include "core/collection.h"
 #include "core/instantiate.h"
 #include "core/quantizer.h"
 #include "core/query.h"
+#include "core/query_processor.h"
 #include "core/rbm.h"
 #include "core/rules.h"
 #include "index/histogram_index.h"
@@ -36,6 +39,11 @@ struct DatabaseOptions {
   ColorSpace color_space = ColorSpace::kRgb;
   /// Rule engine fidelity (see `RuleOptions`).
   RuleOptions rule_options;
+  /// Threads the shared query executor may occupy (pool workers plus the
+  /// querying thread); drives `QueryMethod::kParallelRbm`. 0 means
+  /// `std::thread::hardware_concurrency()`. The pool is started lazily on
+  /// the first parallel query, never for purely serial use.
+  int query_threads = 0;
 };
 
 /// How a range query is processed.
@@ -52,7 +60,14 @@ enum class QueryMethod {
   /// (the conventional access path of Section 4's opening) instead of a
   /// linear histogram scan. Same result sets as kBwm.
   kBwmIndexed,
+  /// RBM with the edited-image scan chunked across the database's
+  /// persistent worker pool (beyond-paper). Same result sets — and the
+  /// same result *order* — as kRbm.
+  kParallelRbm,
 };
+
+/// Human-readable method name ("rbm", "bwm", ...), for tables and logs.
+std::string_view QueryMethodName(QueryMethod method);
 
 /// The augmented multimedia database facade.
 ///
@@ -71,14 +86,24 @@ enum class QueryMethod {
 /// store (`GetImage`, kInstantiate, `VerifyIntegrity`) are concurrency-
 /// safe only on an in-memory store; the disk store's buffer pool is
 /// single-threaded.
+class Executor;
+
 class MultimediaDatabase {
  public:
+  /// Builds a fresh processor for one query method against one database.
+  /// Called once per query (processors carry per-instance resolver
+  /// scratch state and are cheap to build), from any thread.
+  using QueryProcessorFactory =
+      std::function<std::unique_ptr<QueryProcessor>(const MultimediaDatabase&)>;
+
   /// Opens (creating or reloading) a database per `options`.
   static Result<std::unique_ptr<MultimediaDatabase>> Open(
       DatabaseOptions options = {});
 
   MultimediaDatabase(const MultimediaDatabase&) = delete;
   MultimediaDatabase& operator=(const MultimediaDatabase&) = delete;
+
+  ~MultimediaDatabase();
 
   /// Stores a conventional (binary) image; extracts and catalogs its
   /// histogram. Returns the new object id.
@@ -104,6 +129,24 @@ class MultimediaDatabase {
   /// guarantees as `RunRange`.
   Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
                                      QueryMethod method) const;
+
+  /// Builds a fresh `QueryProcessor` for `method` from the process-wide
+  /// method→factory registry (`RunRange` / `RunConjunctive` dispatch
+  /// through this). The processor borrows this database's in-memory
+  /// read state and must not outlive it.
+  Result<std::unique_ptr<QueryProcessor>> MakeProcessor(
+      QueryMethod method) const;
+
+  /// Registers (or replaces) the factory behind `method`, letting new
+  /// access paths plug into every facade and `QueryService` dispatch
+  /// without editing either. Process-wide; thread-safe.
+  static void RegisterQueryMethod(QueryMethod method,
+                                  QueryProcessorFactory factory);
+
+  /// The lazily started persistent worker pool shared by this database's
+  /// parallel query paths (`QueryMethod::kParallelRbm`). Sized by
+  /// `DatabaseOptions::query_threads`.
+  Executor* shared_executor() const;
 
   /// Removes an image object. An edited image is always removable; a
   /// binary image is removable only while no stored edited image
@@ -164,6 +207,8 @@ class MultimediaDatabase {
   Status ValidateScript(const EditScript& script) const;
 
   DatabaseOptions options_;
+  mutable std::once_flag executor_once_;
+  mutable std::unique_ptr<Executor> query_executor_;
   std::unique_ptr<ObjectStore> store_;
   ColorQuantizer quantizer_;
   RuleEngine rule_engine_;

@@ -1,0 +1,107 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace mmdb {
+
+Executor::Executor(int worker_count)
+    : worker_count_(std::max(0, worker_count)) {
+  workers_.reserve(static_cast<size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() { Shutdown(); }
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Graceful drain: even while shutting down, queued tasks run.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void Executor::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutting_down_ && worker_count_ > 0) {
+      queue_.push_back(std::move(task));
+      lock.unlock();
+      work_available_.notify_one();
+      return;
+    }
+  }
+  task();  // Inline pool, or shut down: never drop work.
+}
+
+void Executor::ParallelFor(size_t count,
+                           const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+
+  // Shared claim/completion state. Helper tasks may still sit in the
+  // queue after the loop finishes (the caller can claim every iteration
+  // first), so the state is shared_ptr-owned and the late helpers see an
+  // already-exhausted counter and return immediately.
+  struct LoopState {
+    std::function<void(size_t)> body;
+    size_t count;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->body = body;
+  state->count = count;
+
+  const auto run = [](const std::shared_ptr<LoopState>& s) {
+    for (size_t i = s->next.fetch_add(1); i < s->count;
+         i = s->next.fetch_add(1)) {
+      s->body(i);
+      if (s->done.fetch_add(1) + 1 == s->count) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->all_done.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers =
+      std::min(static_cast<size_t>(worker_count_), count - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, run] { run(state); });
+  }
+  run(state);  // The caller participates: progress needs no free worker.
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(
+      lock, [&] { return state->done.load() == state->count; });
+}
+
+void Executor::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    to_join.swap(workers_);  // Claimed by exactly one caller.
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : to_join) worker.join();
+}
+
+}  // namespace mmdb

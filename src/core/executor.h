@@ -1,0 +1,70 @@
+#ifndef MMDB_CORE_EXECUTOR_H_
+#define MMDB_CORE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmdb {
+
+/// A fixed-size worker pool with a FIFO task queue.
+///
+/// Replaces the spawn-and-join-per-query threading the parallel scan used
+/// to do: the workers are started once and reused by every query routed
+/// through the pool, so steady-state query cost contains no thread
+/// creation. `worker_count` may be zero, in which case every task runs
+/// inline on the thread that hands it over — the degenerate serial pool.
+///
+/// Shutdown is graceful: tasks already queued are drained before the
+/// workers join, and work handed in after shutdown runs inline on the
+/// caller instead of being dropped. That "never drop, degrade to inline"
+/// rule is what makes `ParallelFor` safe to call from anywhere, including
+/// from a task that is itself running on this pool (see below).
+class Executor {
+ public:
+  /// Starts `worker_count` (clamped at >= 0) persistent workers.
+  explicit Executor(int worker_count);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Drains and joins (`Shutdown`).
+  ~Executor();
+
+  /// Enqueues `task` for a worker. After `Shutdown` (or on a pool with
+  /// zero workers) the task runs inline before the call returns.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(0) .. body(count - 1)`, returning when all calls have
+  /// finished. Iterations are claimed from a shared counter by up to
+  /// `worker_count` helper tasks *and by the calling thread*, so the loop
+  /// always makes progress — even when every worker is busy (the caller
+  /// just runs every iteration itself), which makes nested use from pool
+  /// tasks deadlock-free. Effective parallelism is `worker_count + 1`.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// Drains the queue, joins the workers, and flips the pool to inline
+  /// execution. Idempotent; safe to race with `Submit`.
+  void Shutdown();
+
+  /// Workers this pool was built with (0 for an inline pool).
+  int worker_count() const { return worker_count_; }
+
+ private:
+  void WorkerLoop();
+
+  const int worker_count_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_EXECUTOR_H_

@@ -3,6 +3,7 @@
 
 #include "core/collection.h"
 #include "core/query.h"
+#include "core/query_processor.h"
 #include "image/editor.h"
 #include "util/result.h"
 
@@ -16,7 +17,7 @@ namespace mmdb {
 /// The test suite uses this processor as ground truth: RBM/BWM must
 /// return a superset of its edited-image matches (no false negatives)
 /// and identical binary-image matches.
-class InstantiationQueryProcessor {
+class InstantiationQueryProcessor : public QueryProcessor {
  public:
   /// `pixels` resolves any object id (binary images at minimum) to its
   /// raster; all referents must outlive the processor.
@@ -25,10 +26,11 @@ class InstantiationQueryProcessor {
                               ImageResolver pixels);
 
   /// Runs `query`, instantiating every edited image.
-  Result<QueryResult> RunRange(const RangeQuery& query) const;
+  Result<QueryResult> RunRange(const RangeQuery& query) const override;
 
   /// Conjunctive variant (exact).
-  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query) const;
+  Result<QueryResult> RunConjunctive(
+      const ConjunctiveQuery& query) const override;
 
   /// Materializes one edited image (used by examples and by the facade's
   /// retrieval path).

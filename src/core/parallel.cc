@@ -1,10 +1,9 @@
 #include "core/parallel.h"
 
 #include <algorithm>
-#include <thread>
+#include <vector>
 
 #include "core/bounds.h"
-#include "core/rbm.h"
 
 namespace mmdb {
 
@@ -13,15 +12,64 @@ ParallelRbmQueryProcessor::ParallelRbmQueryProcessor(
     int threads)
     : collection_(collection),
       engine_(engine),
-      threads_(std::max(1, threads)) {}
+      owned_executor_(std::make_unique<Executor>(std::max(1, threads) - 1)),
+      executor_(owned_executor_.get()) {}
+
+ParallelRbmQueryProcessor::ParallelRbmQueryProcessor(
+    const AugmentedCollection* collection, const RuleEngine* engine,
+    Executor* executor)
+    : collection_(collection), engine_(engine), executor_(executor) {}
+
+template <typename BoundFn>
+Status ParallelRbmQueryProcessor::ScanEdited(QueryResult* result,
+                                             const BoundFn& bound_one) const {
+  const std::vector<ObjectId>& edited = collection_->edited_ids();
+  const size_t n = edited.size();
+  if (n == 0) return Status::OK();
+  const size_t chunk_count =
+      std::min(static_cast<size_t>(threads()), n);
+
+  struct ChunkOutput {
+    std::vector<ObjectId> ids;
+    QueryStats stats;
+    Status status;
+  };
+  std::vector<ChunkOutput> outputs(chunk_count);
+
+  executor_->ParallelFor(chunk_count, [&](size_t w) {
+    const size_t begin = n * w / chunk_count;
+    const size_t end = n * (w + 1) / chunk_count;
+    ChunkOutput& output = outputs[w];
+    // Per-chunk resolver: its cycle-detection state is not shareable.
+    const TargetBoundsResolver resolver =
+        collection_->MakeTargetResolver(*engine_);
+    for (size_t i = begin; i < end; ++i) {
+      const EditedImageInfo* info = collection_->FindEdited(edited[i]);
+      const BinaryImageInfo* base =
+          collection_->FindBinary(info->script.base_id);
+      if (base == nullptr) {
+        output.status = Status::Corruption(
+            "edited image " + std::to_string(edited[i]) +
+            " references missing base");
+        return;
+      }
+      output.status = bound_one(resolver, *info, *base, &output.ids,
+                                &output.stats);
+      if (!output.status.ok()) return;
+    }
+  });
+
+  for (ChunkOutput& output : outputs) {
+    MMDB_RETURN_IF_ERROR(output.status);
+    result->ids.insert(result->ids.end(), output.ids.begin(),
+                       output.ids.end());
+    result->stats += output.stats;
+  }
+  return Status::OK();
+}
 
 Result<QueryResult> ParallelRbmQueryProcessor::RunRange(
     const RangeQuery& query) const {
-  if (threads_ <= 1) {
-    RbmQueryProcessor serial(collection_, engine_);
-    return serial.RunRange(query);
-  }
-
   QueryResult result;
   // Binary images: cheap exact checks, done inline.
   for (ObjectId id : collection_->binary_ids()) {
@@ -32,63 +80,62 @@ Result<QueryResult> ParallelRbmQueryProcessor::RunRange(
     }
   }
 
-  // Edited images: partition into contiguous chunks, one thread each.
-  const std::vector<ObjectId>& edited = collection_->edited_ids();
-  const size_t n = edited.size();
-  const size_t worker_count =
-      std::min<size_t>(static_cast<size_t>(threads_), std::max<size_t>(n, 1));
-  struct ChunkOutput {
-    std::vector<ObjectId> ids;
-    QueryStats stats;
-    Status status;
-  };
-  std::vector<ChunkOutput> outputs(worker_count);
-  std::vector<std::thread> workers;
-  workers.reserve(worker_count);
+  MMDB_RETURN_IF_ERROR(ScanEdited(
+      &result,
+      [&](const TargetBoundsResolver& resolver, const EditedImageInfo& info,
+          const BinaryImageInfo& base, std::vector<ObjectId>* ids,
+          QueryStats* stats) -> Status {
+        MMDB_ASSIGN_OR_RETURN(
+            FractionBounds bounds,
+            ComputeBounds(*engine_, info.script, query.bin,
+                          base.histogram.Count(query.bin), base.width,
+                          base.height, resolver));
+        ++stats->edited_images_bounded;
+        stats->rules_applied += static_cast<int64_t>(info.script.ops.size());
+        if (bounds.Overlaps(query.min_fraction, query.max_fraction)) {
+          ids->push_back(info.id);
+        }
+        return Status::OK();
+      }));
+  return result;
+}
 
-  for (size_t w = 0; w < worker_count; ++w) {
-    const size_t begin = n * w / worker_count;
-    const size_t end = n * (w + 1) / worker_count;
-    workers.emplace_back([this, &edited, &query, begin, end,
-                          output = &outputs[w]] {
-      // Per-thread resolver: its cycle-detection state is not shareable.
-      const TargetBoundsResolver resolver =
-          collection_->MakeTargetResolver(*engine_);
-      for (size_t i = begin; i < end; ++i) {
-        const EditedImageInfo* info = collection_->FindEdited(edited[i]);
-        const BinaryImageInfo* base =
-            collection_->FindBinary(info->script.base_id);
-        if (base == nullptr) {
-          output->status = Status::Corruption(
-              "edited image " + std::to_string(edited[i]) +
-              " references missing base");
-          return;
-        }
-        Result<FractionBounds> bounds = ComputeBounds(
-            *engine_, info->script, query.bin,
-            base->histogram.Count(query.bin), base->width, base->height,
-            resolver);
-        if (!bounds.ok()) {
-          output->status = bounds.status();
-          return;
-        }
-        ++output->stats.edited_images_bounded;
-        output->stats.rules_applied +=
-            static_cast<int64_t>(info->script.ops.size());
-        if (bounds->Overlaps(query.min_fraction, query.max_fraction)) {
-          output->ids.push_back(edited[i]);
-        }
-      }
-    });
+Result<QueryResult> ParallelRbmQueryProcessor::RunConjunctive(
+    const ConjunctiveQuery& query) const {
+  QueryResult result;
+  for (ObjectId id : collection_->binary_ids()) {
+    const BinaryImageInfo* binary = collection_->FindBinary(id);
+    ++result.stats.binary_images_checked;
+    if (query.Satisfies(
+            [&](BinIndex bin) { return binary->histogram.Fraction(bin); })) {
+      result.ids.push_back(id);
+    }
   }
-  for (std::thread& worker : workers) worker.join();
 
-  for (ChunkOutput& output : outputs) {
-    MMDB_RETURN_IF_ERROR(output.status);
-    result.ids.insert(result.ids.end(), output.ids.begin(),
-                      output.ids.end());
-    result.stats += output.stats;
-  }
+  MMDB_RETURN_IF_ERROR(ScanEdited(
+      &result,
+      [&](const TargetBoundsResolver& resolver, const EditedImageInfo& info,
+          const BinaryImageInfo& base, std::vector<ObjectId>* ids,
+          QueryStats* stats) -> Status {
+        bool candidate = true;
+        for (const RangeQuery& conjunct : query.conjuncts) {
+          MMDB_ASSIGN_OR_RETURN(
+              FractionBounds bounds,
+              ComputeBounds(*engine_, info.script, conjunct.bin,
+                            base.histogram.Count(conjunct.bin), base.width,
+                            base.height, resolver));
+          stats->rules_applied +=
+              static_cast<int64_t>(info.script.ops.size());
+          if (!bounds.Overlaps(conjunct.min_fraction,
+                               conjunct.max_fraction)) {
+            candidate = false;
+            break;
+          }
+        }
+        ++stats->edited_images_bounded;
+        if (candidate) ids->push_back(info.id);
+        return Status::OK();
+      }));
   return result;
 }
 

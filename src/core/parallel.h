@@ -1,8 +1,12 @@
 #ifndef MMDB_CORE_PARALLEL_H_
 #define MMDB_CORE_PARALLEL_H_
 
+#include <memory>
+
 #include "core/collection.h"
+#include "core/executor.h"
 #include "core/query.h"
+#include "core/query_processor.h"
 #include "core/rules.h"
 #include "util/result.h"
 
@@ -12,26 +16,52 @@ namespace mmdb {
 ///
 /// The per-edited-image BOUNDS folds are independent, so the scan
 /// partitions the edited images into contiguous chunks and bounds each
-/// chunk on its own thread (each with its own merge-target resolver —
-/// the resolvers' cycle-detection state is not shareable). Results are
-/// concatenated in chunk order, making the output deterministic and
-/// identical to the serial `RbmQueryProcessor` (the tests enforce both).
-class ParallelRbmQueryProcessor {
+/// chunk as one `Executor` task (each with its own merge-target
+/// resolver — the resolvers' cycle-detection state is not shareable).
+/// Results are concatenated in chunk order, making the output
+/// deterministic and identical to the serial `RbmQueryProcessor` (the
+/// tests enforce both, for range and conjunctive queries alike).
+///
+/// Unlike the original implementation, no threads are created per query:
+/// chunks run on a persistent pool — either one this processor owns or a
+/// shared `Executor` (the facade's, when dispatched as
+/// `QueryMethod::kParallelRbm`). The submitting thread always works on
+/// chunks too (`Executor::ParallelFor`), so a saturated or shut-down pool
+/// degrades to a serial scan instead of stalling.
+class ParallelRbmQueryProcessor : public QueryProcessor {
  public:
-  /// `threads` <= 1 degenerates to the serial scan. Referents must
-  /// outlive the processor.
+  /// Owns a private pool sized for `threads`-way parallelism (the caller
+  /// counts as one, so `threads - 1` workers are started; `threads` <= 1
+  /// degenerates to a serial scan). Referents must outlive the processor.
   ParallelRbmQueryProcessor(const AugmentedCollection* collection,
                             const RuleEngine* engine, int threads);
 
-  /// Runs `query` with the configured parallelism.
-  Result<QueryResult> RunRange(const RangeQuery& query) const;
+  /// Runs chunks on `executor` (not owned; must outlive the processor)
+  /// instead of a private pool.
+  ParallelRbmQueryProcessor(const AugmentedCollection* collection,
+                            const RuleEngine* engine, Executor* executor);
 
-  int threads() const { return threads_; }
+  /// Runs `query` with the configured parallelism.
+  Result<QueryResult> RunRange(const RangeQuery& query) const override;
+
+  /// Conjunctive variant, same chunking and the same deterministic
+  /// chunk-order guarantee.
+  Result<QueryResult> RunConjunctive(
+      const ConjunctiveQuery& query) const override;
+
+  /// Maximum threads a scan can occupy (pool workers + the caller).
+  int threads() const { return executor_->worker_count() + 1; }
 
  private:
+  /// Scans all edited images chunk-parallel; `bound_one` evaluates one
+  /// edited image (appending to ids/stats of its chunk).
+  template <typename BoundFn>
+  Status ScanEdited(QueryResult* result, const BoundFn& bound_one) const;
+
   const AugmentedCollection* collection_;
   const RuleEngine* engine_;
-  int threads_;
+  std::unique_ptr<Executor> owned_executor_;
+  Executor* executor_;
 };
 
 }  // namespace mmdb

@@ -1,0 +1,40 @@
+#ifndef MMDB_CORE_QUERY_PROCESSOR_H_
+#define MMDB_CORE_QUERY_PROCESSOR_H_
+
+#include "core/query.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// The one interface every access path implements: instantiate, RBM, BWM,
+/// indexed BWM, and the pooled parallel RBM scan are all
+/// `QueryProcessor`s, and the facade dispatches to them through a
+/// method→factory registry instead of a hand-rolled switch. New access
+/// paths plug in by registering a factory (see
+/// `MultimediaDatabase::RegisterQueryMethod`) without editing the facade.
+///
+/// Contract shared by every implementation:
+///  - no false negatives versus the instantiate baseline;
+///  - kRbm, kBwm, kBwmIndexed, and kParallelRbm return identical result
+///    sets (the paper's equivalence argument, enforced by the tests);
+///  - `Run*` methods are const and touch only in-memory read state, so
+///    one processor is safe to use from the thread that built it while
+///    other threads run their own processors. A single processor instance
+///    is NOT shareable across threads (the bounds resolver's
+///    cycle-detection scratch state is per-instance); build one per
+///    thread, which is exactly what the facade and `QueryService` do.
+class QueryProcessor {
+ public:
+  virtual ~QueryProcessor() = default;
+
+  /// Answers one color range query.
+  virtual Result<QueryResult> RunRange(const RangeQuery& query) const = 0;
+
+  /// Answers a conjunction of range predicates.
+  virtual Result<QueryResult> RunConjunctive(
+      const ConjunctiveQuery& query) const = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_QUERY_PROCESSOR_H_

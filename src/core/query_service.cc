@@ -1,0 +1,143 @@
+#include "core/query_service.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace mmdb {
+
+namespace {
+
+int ResolveThreads(const QueryServiceOptions& options) {
+  const int threads = options.threads > 0
+                          ? options.threads
+                          : static_cast<int>(
+                                std::thread::hardware_concurrency());
+  return std::max(1, threads);
+}
+
+}  // namespace
+
+QueryService::QueryService(const MultimediaDatabase* db,
+                           QueryServiceOptions options)
+    : db_(db), executor_(ResolveThreads(options) - 1) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() { executor_.Shutdown(); }
+
+QueryService::QueryObservation QueryService::RunOne(
+    const QueryRequest& request, Result<QueryResult>* out) const {
+  QueryObservation observation;
+  observation.method = request.method;
+  observation.conjunctive = request.conjunctive.has_value();
+
+  Stopwatch watch;
+  if (request.range.has_value() == request.conjunctive.has_value()) {
+    *out = Status::InvalidArgument(
+        "QueryRequest must hold exactly one of a range or a conjunctive "
+        "query");
+  } else if (request.range.has_value()) {
+    *out = db_->RunRange(*request.range, request.method);
+  } else {
+    *out = db_->RunConjunctive(*request.conjunctive, request.method);
+  }
+  observation.wall_seconds = watch.ElapsedSeconds();
+  observation.ok = out->ok();
+  if (out->ok()) {
+    observation.results = static_cast<int64_t>((*out)->ids.size());
+    observation.stats = (*out)->stats;
+  }
+  return observation;
+}
+
+void QueryService::Record(const QueryObservation& observation) {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.queries;
+  ++counters_.queries_per_method[observation.method];
+  if (observation.conjunctive) {
+    ++counters_.conjunctive_queries;
+  } else {
+    ++counters_.range_queries;
+  }
+  if (observation.ok) {
+    counters_.results_returned += observation.results;
+    counters_.stats += observation.stats;
+  } else {
+    ++counters_.failed_queries;
+  }
+  counters_.total_query_seconds += observation.wall_seconds;
+  counters_.max_query_seconds =
+      std::max(counters_.max_query_seconds, observation.wall_seconds);
+}
+
+std::vector<Result<QueryResult>> QueryService::ExecuteBatch(
+    std::span<const QueryRequest> requests) {
+  std::vector<Result<QueryResult>> results(
+      requests.size(), Result<QueryResult>(Status::Internal("not executed")));
+  executor_.ParallelFor(requests.size(), [&](size_t i) {
+    Record(RunOne(requests[i], &results[i]));
+  });
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.batches;
+  }
+  return results;
+}
+
+Result<QueryResult> QueryService::Execute(const QueryRequest& request) {
+  std::vector<Result<QueryResult>> results =
+      ExecuteBatch(std::span<const QueryRequest>(&request, 1));
+  return std::move(results.front());
+}
+
+QueryService::CounterSnapshot QueryService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+void QueryService::ResetCounters() {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  counters_ = CounterSnapshot();
+}
+
+void QueryService::CounterSnapshot::PrintTo(std::ostream& os) const {
+  TablePrinter table({"counter", "value"});
+  table.AddRow({"batches", TablePrinter::Cell(batches)});
+  table.AddRow({"queries", TablePrinter::Cell(queries)});
+  table.AddRow({"  range", TablePrinter::Cell(range_queries)});
+  table.AddRow({"  conjunctive", TablePrinter::Cell(conjunctive_queries)});
+  for (const auto& [method, count] : queries_per_method) {
+    table.AddRow({"  method " + std::string(QueryMethodName(method)),
+                  TablePrinter::Cell(count)});
+  }
+  table.AddRow({"failed queries", TablePrinter::Cell(failed_queries)});
+  table.AddRow({"results returned", TablePrinter::Cell(results_returned)});
+  table.AddRow(
+      {"binary images checked",
+       TablePrinter::Cell(stats.binary_images_checked)});
+  table.AddRow({"edited images bounded (RBM fallbacks)",
+                TablePrinter::Cell(stats.edited_images_bounded)});
+  table.AddRow({"edited images skipped (Main-cluster accepts)",
+                TablePrinter::Cell(stats.edited_images_skipped)});
+  table.AddRow({"rules applied", TablePrinter::Cell(stats.rules_applied)});
+  table.AddRow(
+      {"images instantiated", TablePrinter::Cell(stats.images_instantiated)});
+  table.AddRow(
+      {"total query seconds", TablePrinter::Cell(total_query_seconds, 6)});
+  table.AddRow(
+      {"max query seconds", TablePrinter::Cell(max_query_seconds, 6)});
+  table.AddRow(
+      {"avg query seconds",
+       TablePrinter::Cell(
+           queries == 0 ? 0.0
+                        : total_query_seconds / static_cast<double>(queries),
+           6)});
+  table.Print(os);
+}
+
+}  // namespace mmdb

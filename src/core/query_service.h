@@ -1,0 +1,147 @@
+#ifndef MMDB_CORE_QUERY_SERVICE_H_
+#define MMDB_CORE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "core/database.h"
+#include "core/executor.h"
+#include "core/query.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+/// Sizing of a `QueryService`.
+struct QueryServiceOptions {
+  /// Threads a batch may occupy (pool workers plus the calling thread).
+  /// 0 means `std::thread::hardware_concurrency()`.
+  int threads = 0;
+};
+
+/// One query of a batch: a range *or* conjunctive query plus the access
+/// path to answer it with. Exactly one of `range` / `conjunctive` must be
+/// set (use the factory helpers).
+struct QueryRequest {
+  QueryMethod method = QueryMethod::kBwm;
+  std::optional<RangeQuery> range;
+  std::optional<ConjunctiveQuery> conjunctive;
+
+  static QueryRequest Range(RangeQuery query,
+                            QueryMethod method = QueryMethod::kBwm) {
+    QueryRequest request;
+    request.method = method;
+    request.range = std::move(query);
+    return request;
+  }
+  static QueryRequest Conjunctive(ConjunctiveQuery query,
+                                  QueryMethod method = QueryMethod::kBwm) {
+    QueryRequest request;
+    request.method = method;
+    request.conjunctive = std::move(query);
+    return request;
+  }
+};
+
+/// The serving layer over a `MultimediaDatabase`: a persistent worker
+/// pool executes batches of independent read queries concurrently, and
+/// every query feeds a per-query observability record into service-level
+/// counters.
+///
+/// Concurrency contract (inherited from the facade): the query paths
+/// read only in-memory structures, so any number of `ExecuteBatch` /
+/// `Execute` calls may run at once — but mutations of the underlying
+/// database (`Insert*`, `DeleteImage`, `Flush`) must remain externally
+/// serialized against them, exactly as for direct facade queries.
+/// `QueryMethod::kInstantiate` touches the object store and is safe in a
+/// batch only over an in-memory store (the facade documents the same
+/// boundary).
+class QueryService {
+ public:
+  /// Per-query observability record: what one query cost and how much
+  /// work each side of the scan did (Main-cluster accepts are
+  /// `stats.edited_images_skipped`; RBM fallbacks inside BWM are
+  /// `stats.edited_images_bounded`).
+  struct QueryObservation {
+    QueryMethod method = QueryMethod::kBwm;
+    bool ok = false;
+    bool conjunctive = false;
+    double wall_seconds = 0.0;
+    int64_t results = 0;
+    QueryStats stats;
+  };
+
+  /// Cumulative counters since construction (or `ResetCounters`).
+  struct CounterSnapshot {
+    int64_t batches = 0;
+    int64_t queries = 0;
+    int64_t range_queries = 0;
+    int64_t conjunctive_queries = 0;
+    int64_t failed_queries = 0;
+    int64_t results_returned = 0;
+    /// Work counters summed over every successful query.
+    QueryStats stats;
+    double total_query_seconds = 0.0;
+    double max_query_seconds = 0.0;
+    /// Successful + failed queries per access path.
+    std::map<QueryMethod, int64_t> queries_per_method;
+
+    /// Renders the snapshot as an aligned counter table.
+    void PrintTo(std::ostream& os) const;
+  };
+
+  /// The service keeps a pointer to `db`; the database must outlive it
+  /// (and outlive any batch in flight).
+  explicit QueryService(const MultimediaDatabase* db,
+                        QueryServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Joins the pool (graceful `Shutdown`).
+  ~QueryService();
+
+  /// Runs every request concurrently across the pool and returns one
+  /// result per request, in request order — each byte-identical to what
+  /// a serial `RunRange` / `RunConjunctive` facade call would return
+  /// (including result order, which every processor keeps
+  /// deterministic). The calling thread participates in the work, so a
+  /// zero-worker service still answers every query, serially.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      std::span<const QueryRequest> requests);
+
+  /// Convenience: a one-request batch.
+  Result<QueryResult> Execute(const QueryRequest& request);
+
+  /// Drains in-flight work and joins the workers. Batches submitted
+  /// afterwards still complete, on the calling thread. Idempotent.
+  void Shutdown();
+
+  /// Maximum threads a batch can occupy (pool workers + the caller).
+  int threads() const { return executor_.worker_count() + 1; }
+
+  /// A consistent copy of the service counters.
+  CounterSnapshot Snapshot() const;
+
+  /// Zeroes the service counters.
+  void ResetCounters();
+
+ private:
+  /// Validates + runs one request and returns its observation record.
+  QueryObservation RunOne(const QueryRequest& request,
+                          Result<QueryResult>* out) const;
+  void Record(const QueryObservation& observation);
+
+  const MultimediaDatabase* db_;
+  Executor executor_;
+  mutable std::mutex counters_mu_;
+  CounterSnapshot counters_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_QUERY_SERVICE_H_

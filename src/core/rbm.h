@@ -3,6 +3,7 @@
 
 #include "core/collection.h"
 #include "core/query.h"
+#include "core/query_processor.h"
 #include "core/rules.h"
 #include "util/result.h"
 
@@ -17,19 +18,20 @@ namespace mmdb {
 /// its computed fraction range provably cannot overlap the query range.
 /// False positives are possible (the bounds are conservative), which the
 /// paper accepts as the right trade-off for retrieval.
-class RbmQueryProcessor {
+class RbmQueryProcessor : public QueryProcessor {
  public:
   /// Both referents must outlive the processor.
   RbmQueryProcessor(const AugmentedCollection* collection,
                     const RuleEngine* engine);
 
   /// Runs `query` over the whole collection ("w/out data structure").
-  Result<QueryResult> RunRange(const RangeQuery& query) const;
+  Result<QueryResult> RunRange(const RangeQuery& query) const override;
 
   /// Runs a conjunctive query: an edited image stays a candidate only if
   /// its bounds overlap the range of *every* conjunct (one BOUNDS fold
   /// per conjunct). Same no-false-negative guarantee as `RunRange`.
-  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query) const;
+  Result<QueryResult> RunConjunctive(
+      const ConjunctiveQuery& query) const override;
 
  private:
   const AugmentedCollection* collection_;

@@ -77,4 +77,10 @@ Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
   return result;
 }
 
+Result<QueryResult> IndexedBwmQueryProcessor::RunConjunctive(
+    const ConjunctiveQuery& query) const {
+  BwmQueryProcessor bwm(collection_, bwm_index_, engine_);
+  return bwm.RunConjunctive(query);
+}
+
 }  // namespace mmdb

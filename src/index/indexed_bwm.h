@@ -4,6 +4,7 @@
 #include "core/bwm.h"
 #include "core/collection.h"
 #include "core/query.h"
+#include "core/query_processor.h"
 #include "core/rules.h"
 #include "index/histogram_index.h"
 #include "util/result.h"
@@ -17,7 +18,7 @@ namespace mmdb {
 /// The edited images still flow through the Main/Unclassified logic of
 /// Figure 2; result sets are identical to the plain `BwmQueryProcessor`
 /// (enforced by the tests).
-class IndexedBwmQueryProcessor {
+class IndexedBwmQueryProcessor : public QueryProcessor {
  public:
   /// `index` must contain exactly the collection's binary images. All
   /// referents must outlive the processor.
@@ -27,7 +28,14 @@ class IndexedBwmQueryProcessor {
                            const HistogramIndex* histogram_index);
 
   /// Runs `query` using the index for the binary-image side.
-  Result<QueryResult> RunRange(const RangeQuery& query) const;
+  Result<QueryResult> RunRange(const RangeQuery& query) const override;
+
+  /// Conjunctive variant. The R-tree probes one bin per search, so a
+  /// conjunction runs the plain BWM Figure 2 logic over the stored
+  /// histograms (exactly what the facade used to fall back to); result
+  /// sets are identical to `BwmQueryProcessor::RunConjunctive`.
+  Result<QueryResult> RunConjunctive(
+      const ConjunctiveQuery& query) const override;
 
  private:
   const AugmentedCollection* collection_;

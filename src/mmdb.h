@@ -16,12 +16,15 @@
 #include "core/collection.h"
 #include "core/database.h"
 #include "core/dominant.h"
+#include "core/executor.h"
 #include "core/histogram.h"
 #include "core/instantiate.h"
 #include "core/parallel.h"
 #include "core/quantizer.h"
 #include "core/query.h"
 #include "core/query_parser.h"
+#include "core/query_processor.h"
+#include "core/query_service.h"
 #include "core/rbm.h"
 #include "core/rules.h"
 #include "core/similarity.h"

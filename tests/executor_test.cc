@@ -1,0 +1,100 @@
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace mmdb {
+namespace {
+
+TEST(ExecutorTest, SubmitRunsEveryTask) {
+  Executor executor(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    executor.Submit([&ran] { ++ran; });
+  }
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ExecutorTest, ShutdownDrainsQueuedWork) {
+  // One worker plus a slow first task guarantees a deep queue at the
+  // moment Shutdown is called; graceful drain must still run it all.
+  Executor executor(1);
+  std::atomic<int> ran{0};
+  executor.Submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  for (int i = 0; i < 200; ++i) {
+    executor.Submit([&ran] { ++ran; });
+  }
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ExecutorTest, ShutdownIsIdempotentAndSubmitDegradesToInline) {
+  Executor executor(2);
+  executor.Shutdown();
+  executor.Shutdown();
+  bool ran = false;
+  executor.Submit([&ran] { ran = true; });  // Runs inline, never dropped.
+  EXPECT_TRUE(ran);
+}
+
+TEST(ExecutorTest, ZeroWorkersRunsEverythingInline) {
+  Executor executor(0);
+  EXPECT_EQ(executor.worker_count(), 0);
+  std::atomic<int> ran{0};
+  executor.Submit([&ran] { ++ran; });
+  EXPECT_EQ(ran.load(), 1);
+  std::vector<int> hits(64, 0);
+  executor.ParallelFor(hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(ExecutorTest, ParallelForCoversEveryIndexExactlyOnce) {
+  Executor executor(4);
+  std::vector<std::atomic<int>> hits(1000);
+  executor.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ExecutorTest, NestedParallelForFromPoolTasksDoesNotDeadlock) {
+  // Saturate the pool with tasks that themselves run ParallelFor on the
+  // same executor; caller participation must keep everything moving.
+  Executor executor(2);
+  std::atomic<int> inner{0};
+  executor.ParallelFor(8, [&](size_t) {
+    executor.ParallelFor(16, [&](size_t) { ++inner; });
+  });
+  EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(ExecutorTest, ParallelForAfterShutdownStillCompletes) {
+  Executor executor(3);
+  executor.Shutdown();
+  std::atomic<int> ran{0};
+  executor.ParallelFor(32, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ExecutorTest, ManyConcurrentParallelForCallers) {
+  Executor executor(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        executor.ParallelFor(10, [&](size_t) { ++total; });
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 10);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -37,6 +37,35 @@ TEST_P(ParallelScan, IdenticalToSerialIncludingOrder) {
   }
 }
 
+TEST_P(ParallelScan, ConjunctiveIdenticalToSerialIncludingOrder) {
+  auto db = MultimediaDatabase::Open().value();
+  datasets::DatasetSpec spec;
+  spec.total_images = 60;
+  spec.edited_fraction = 0.75;
+  spec.seed = 821;
+  ASSERT_TRUE(datasets::BuildAugmentedDatabase(db.get(), spec).ok());
+
+  const RbmQueryProcessor serial(&db->collection(), &db->rule_engine());
+  const ParallelRbmQueryProcessor parallel(&db->collection(),
+                                           &db->rule_engine(), GetParam());
+  Rng rng(823);
+  const auto windows = datasets::MakeGroundedRangeWorkload(
+      db->collection(), db->quantizer(), datasets::FlagPalette(), 12, rng);
+  for (size_t i = 0; i + 1 < windows.size(); i += 2) {
+    ConjunctiveQuery query;
+    query.conjuncts.push_back(windows[i]);
+    query.conjuncts.push_back(windows[i + 1]);
+    const auto a = serial.RunConjunctive(query);
+    const auto b = parallel.RunConjunctive(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->ids, b->ids) << query.ToString();
+    EXPECT_EQ(a->stats.rules_applied, b->stats.rules_applied);
+    EXPECT_EQ(a->stats.edited_images_bounded,
+              b->stats.edited_images_bounded);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelScan,
                          ::testing::Values(1, 2, 3, 4, 8));
 

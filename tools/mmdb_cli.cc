@@ -46,7 +46,8 @@ int Usage() {
       "                               | crop | scale:s[,sy] |\n"
       "                               translate:dx,dy | rotate:deg[,cx,cy]\n"
       "                               | matrix:m11..m33 | merge:target,x,y\n"
-      "  query <#rrggbb|bin> <min> <max> [--method=rbm|bwm|inst]\n"
+      "  query <#rrggbb|bin> <min> <max> "
+      "[--method=rbm|bwm|bwmx|prbm|inst]\n"
       "  queryx \"<expr>\"             predicate expression, e.g.\n"
       "                               \"color('#0038a8') >= 25% and "
       "color('#ffffff') <= 10%\"\n"
@@ -135,9 +136,21 @@ int CmdQuery(MultimediaDatabase& db, const std::vector<std::string>& args) {
   query.max_fraction = std::atof(args[2].c_str());
   QueryMethod method = QueryMethod::kBwm;
   for (size_t i = 3; i < args.size(); ++i) {
-    if (args[i] == "--method=rbm") method = QueryMethod::kRbm;
-    if (args[i] == "--method=bwm") method = QueryMethod::kBwm;
-    if (args[i] == "--method=inst") method = QueryMethod::kInstantiate;
+    if (args[i] == "--method=rbm") {
+      method = QueryMethod::kRbm;
+    } else if (args[i] == "--method=bwm") {
+      method = QueryMethod::kBwm;
+    } else if (args[i] == "--method=bwmx") {
+      method = QueryMethod::kBwmIndexed;
+    } else if (args[i] == "--method=prbm") {
+      method = QueryMethod::kParallelRbm;
+    } else if (args[i] == "--method=inst") {
+      method = QueryMethod::kInstantiate;
+    } else {
+      std::cerr << "error: unknown option '" << args[i]
+                << "' (expected --method=rbm|bwm|bwmx|prbm|inst)\n";
+      return 1;
+    }
   }
   Result<QueryResult> result = db.RunRange(query, method);
   if (!result.ok()) return Fail(result.status());
