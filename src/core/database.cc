@@ -43,8 +43,11 @@ struct ProcessorRegistry {
       auto* r = new ProcessorRegistry();
       r->factories[QueryMethod::kInstantiate] =
           [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
-        return std::make_unique<InstantiationQueryProcessor>(
+        auto processor = std::make_unique<InstantiationQueryProcessor>(
             &db.collection(), &db.quantizer(), db.MakePixelResolver());
+        // A corrupt blob quarantines the image instead of failing the query.
+        processor->SetQuarantineHooks(db.MakeQuarantineHooks());
+        return processor;
       };
       r->factories[QueryMethod::kRbm] =
           [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
@@ -137,7 +140,8 @@ Result<std::unique_ptr<MultimediaDatabase>> MultimediaDatabase::Open(
   } else {
     MMDB_ASSIGN_OR_RETURN(
         db->store_,
-        DiskObjectStore::Open(db->options_.path, db->options_.pool_pages));
+        DiskObjectStore::Open(db->options_.path, db->options_.pool_pages,
+                              /*journaled=*/true, db->options_.env));
   }
   if (db->store_->Contains(catalog_keys::kMetaKey)) {
     MMDB_RETURN_IF_ERROR(db->LoadExisting());
@@ -159,12 +163,34 @@ Status MultimediaDatabase::LoadExisting() {
   // Catalog rows live under keys with residue 2; keys are ascending, so
   // objects reload in insertion (id) order — which keeps collection order
   // and BWM classification deterministic across reopen.
+  //
+  // A corrupt row or script blob quarantines that one image instead of
+  // failing the open: the rest of the database stays queryable, and
+  // queries report the loss via `QueryStats::corrupt_images_skipped`.
+  // (Corruption of the metadata blob or of a directory page still fails
+  // the open — there is no per-image blast radius to confine it to.)
   for (uint64_t key : store_->Keys()) {
     if (key % 4 != 2 || key < catalog_keys::RowKey(catalog_keys::kFirstObjectId)) {
       continue;
     }
-    MMDB_ASSIGN_OR_RETURN(std::string row_blob, store_->Get(key));
-    MMDB_ASSIGN_OR_RETURN(CatalogRow row, DecodeCatalogRow(row_blob));
+    const ObjectId row_id = static_cast<ObjectId>((key - 2) / 4);
+    Result<std::string> row_blob = store_->Get(key);
+    if (!row_blob.ok()) {
+      if (row_blob.status().code() != StatusCode::kCorruption) {
+        return row_blob.status();
+      }
+      QuarantineImage(row_id);
+      continue;
+    }
+    Result<CatalogRow> decoded = DecodeCatalogRow(*row_blob);
+    if (!decoded.ok()) {
+      if (decoded.status().code() != StatusCode::kCorruption) {
+        return decoded.status();
+      }
+      QuarantineImage(row_id);
+      continue;
+    }
+    const CatalogRow& row = *decoded;
     if (row.kind == ImageKind::kBinary) {
       BinaryImageInfo info;
       info.id = row.id;
@@ -185,11 +211,26 @@ Status MultimediaDatabase::LoadExisting() {
       MMDB_RETURN_IF_ERROR(collection_.AddBinary(std::move(info)));
       bwm_index_.InsertBinary(row.id);
     } else {
-      MMDB_ASSIGN_OR_RETURN(std::string script_blob,
-                            store_->Get(catalog_keys::ScriptKey(row.id)));
+      Result<std::string> script_blob =
+          store_->Get(catalog_keys::ScriptKey(row.id));
+      if (!script_blob.ok()) {
+        if (script_blob.status().code() != StatusCode::kCorruption) {
+          return script_blob.status();
+        }
+        QuarantineImage(row.id);
+        continue;
+      }
+      Result<EditScript> script = DecodeEditScript(*script_blob);
+      if (!script.ok()) {
+        if (script.status().code() != StatusCode::kCorruption) {
+          return script.status();
+        }
+        QuarantineImage(row.id);
+        continue;
+      }
       EditedImageInfo info;
       info.id = row.id;
-      MMDB_ASSIGN_OR_RETURN(info.script, DecodeEditScript(script_blob));
+      info.script = *std::move(script);
       bwm_index_.InsertEdited(info);
       MMDB_RETURN_IF_ERROR(collection_.AddEdited(std::move(info)));
     }
@@ -297,34 +338,42 @@ Result<ObjectId> MultimediaDatabase::InsertEditedImage(
 }
 
 ImageResolver MultimediaDatabase::MakePixelResolver() const {
-  // Shared in-flight set guards against merge-target cycles.
+  // Shared in-flight set guards against merge-target cycles. Recursion
+  // goes through the ResolvePixels member, not a self-capturing
+  // std::function — a shared_ptr<ImageResolver> that captures itself is
+  // a reference cycle and leaks the closure on every call.
   auto in_flight = std::make_shared<std::set<ObjectId>>();
-  auto self = std::make_shared<ImageResolver>();
-  *self = [this, in_flight, self](ObjectId id) -> Result<Image> {
-    if (collection_.FindBinary(id) != nullptr) {
-      MMDB_ASSIGN_OR_RETURN(std::string blob,
-                            store_->Get(catalog_keys::RasterKey(id)));
-      return DecodePpm(blob);
-    }
-    const EditedImageInfo* edited = collection_.FindEdited(id);
-    if (edited == nullptr) {
-      return Status::NotFound("image object " + std::to_string(id));
-    }
-    if (!in_flight->insert(id).second) {
-      return Status::InvalidArgument("merge target cycle through object " +
-                                     std::to_string(id));
-    }
-    Result<Image> base = (*self)(edited->script.base_id);
-    if (!base.ok()) {
-      in_flight->erase(id);
-      return base.status();
-    }
-    Editor editor(*self);
-    Result<Image> out = editor.Instantiate(*base, edited->script);
-    in_flight->erase(id);
-    return out;
+  return [this, in_flight](ObjectId id) {
+    return ResolvePixels(id, in_flight.get());
   };
-  return *self;
+}
+
+Result<Image> MultimediaDatabase::ResolvePixels(
+    ObjectId id, std::set<ObjectId>* in_flight) const {
+  if (collection_.FindBinary(id) != nullptr) {
+    MMDB_ASSIGN_OR_RETURN(std::string blob,
+                          store_->Get(catalog_keys::RasterKey(id)));
+    return DecodePpm(blob);
+  }
+  const EditedImageInfo* edited = collection_.FindEdited(id);
+  if (edited == nullptr) {
+    return Status::NotFound("image object " + std::to_string(id));
+  }
+  if (!in_flight->insert(id).second) {
+    return Status::InvalidArgument("merge target cycle through object " +
+                                   std::to_string(id));
+  }
+  Result<Image> base = ResolvePixels(edited->script.base_id, in_flight);
+  if (!base.ok()) {
+    in_flight->erase(id);
+    return base.status();
+  }
+  Editor editor([this, in_flight](ObjectId target) {
+    return ResolvePixels(target, in_flight);
+  });
+  Result<Image> out = editor.Instantiate(*base, edited->script);
+  in_flight->erase(id);
+  return out;
 }
 
 Result<Image> MultimediaDatabase::GetImage(ObjectId id) const {
@@ -485,6 +534,28 @@ MultimediaDatabase::VerifyIntegrity(bool deep_pixels) const {
     return Status::Corruption("BWM Unclassified component size mismatch");
   }
   return report;
+}
+
+bool MultimediaDatabase::IsQuarantined(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantine_.count(id) > 0;
+}
+
+void MultimediaDatabase::QuarantineImage(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantine_.insert(id);
+}
+
+std::vector<ObjectId> MultimediaDatabase::QuarantinedImages() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return {quarantine_.begin(), quarantine_.end()};
+}
+
+QuarantineHooks MultimediaDatabase::MakeQuarantineHooks() const {
+  QuarantineHooks hooks;
+  hooks.contains = [this](ObjectId id) { return IsQuarantined(id); };
+  hooks.add = [this](ObjectId id) { QuarantineImage(id); };
+  return hooks;
 }
 
 Status MultimediaDatabase::Flush() {

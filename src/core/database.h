@@ -4,8 +4,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/bwm.h"
 #include "core/collection.h"
@@ -44,6 +46,10 @@ struct DatabaseOptions {
   /// `std::thread::hardware_concurrency()`. The pool is started lazily on
   /// the first parallel query, never for purely serial use.
   int query_threads = 0;
+  /// Environment for all raw file I/O of a disk-backed database (null =
+  /// `Env::Default()`); tests pass a `FaultInjectingEnv`. Must outlive
+  /// the database. Ignored when `path` is empty.
+  Env* env = nullptr;
 };
 
 /// How a range query is processed.
@@ -187,6 +193,22 @@ class MultimediaDatabase {
     int64_t scripts_verified = 0;
   };
 
+  /// True iff `id` has been quarantined as corrupt (its stored raster,
+  /// script, or catalog row failed checksum verification or decoding).
+  bool IsQuarantined(ObjectId id) const;
+
+  /// Marks `id` as corrupt. Const because query processors (which borrow
+  /// the database read-only) discover corruption lazily; the set is
+  /// internally synchronized.
+  void QuarantineImage(ObjectId id) const;
+
+  /// The quarantined ids, ascending.
+  std::vector<ObjectId> QuarantinedImages() const;
+
+  /// Callbacks binding this database's quarantine set, for wiring into
+  /// an `InstantiationQueryProcessor`.
+  QuarantineHooks MakeQuarantineHooks() const;
+
   /// Cross-checks the in-memory state against the object store: every
   /// binary image's raster must exist, decode, and match its cataloged
   /// dimensions (and, when `deep_pixels` is set, re-extract to the
@@ -201,6 +223,9 @@ class MultimediaDatabase {
 
   Status LoadExisting();
   Status PersistMeta();
+  /// Recursive pixel resolution behind `MakePixelResolver`; `in_flight`
+  /// guards against merge-target cycles.
+  Result<Image> ResolvePixels(ObjectId id, std::set<ObjectId>* in_flight) const;
   /// Runs `body` inside an object-store batch, aborting it on failure.
   Status WithBatch(const std::function<Status()>& body);
   Result<ObjectId> NextId();
@@ -209,6 +234,11 @@ class MultimediaDatabase {
   DatabaseOptions options_;
   mutable std::once_flag executor_once_;
   mutable std::unique_ptr<Executor> query_executor_;
+  /// Ids whose stored blobs are known-corrupt; queries skip them instead
+  /// of failing. Guarded by `quarantine_mu_` (processors may add from
+  /// their querying thread while others read).
+  mutable std::mutex quarantine_mu_;
+  mutable std::set<ObjectId> quarantine_;
   std::unique_ptr<ObjectStore> store_;
   ColorQuantizer quantizer_;
   RuleEngine rule_engine_;

@@ -22,6 +22,30 @@ Result<ColorHistogram> InstantiationQueryProcessor::ExactHistogram(
   return ExtractHistogram(image, *quantizer_);
 }
 
+/// Computes the exact histogram of edited image `id`, routing Corruption
+/// into the quarantine instead of up the call chain. Returns OK with
+/// `*skipped = true` when the image must be excluded from the answer.
+Status InstantiationQueryProcessor::HistogramOrQuarantine(
+    ObjectId id, const EditedImageInfo& info, ColorHistogram* hist,
+    bool* skipped) const {
+  *skipped = false;
+  if (quarantine_.contains && quarantine_.contains(id)) {
+    *skipped = true;
+    return Status::OK();
+  }
+  Result<ColorHistogram> exact = ExactHistogram(info);
+  if (!exact.ok()) {
+    if (exact.status().code() == StatusCode::kCorruption) {
+      if (quarantine_.add) quarantine_.add(id);
+      *skipped = true;
+      return Status::OK();
+    }
+    return exact.status();
+  }
+  *hist = *std::move(exact);
+  return Status::OK();
+}
+
 Result<QueryResult> InstantiationQueryProcessor::RunRange(
     const RangeQuery& query) const {
   QueryResult result;
@@ -34,7 +58,14 @@ Result<QueryResult> InstantiationQueryProcessor::RunRange(
   }
   for (ObjectId id : collection_->edited_ids()) {
     const EditedImageInfo* edited = collection_->FindEdited(id);
-    MMDB_ASSIGN_OR_RETURN(ColorHistogram hist, ExactHistogram(*edited));
+    ColorHistogram hist;
+    bool skipped = false;
+    MMDB_RETURN_IF_ERROR(
+        HistogramOrQuarantine(id, *edited, &hist, &skipped));
+    if (skipped) {
+      ++result.stats.corrupt_images_skipped;
+      continue;
+    }
     ++result.stats.images_instantiated;
     if (query.Satisfies(hist.Fraction(query.bin))) {
       result.ids.push_back(id);
@@ -57,7 +88,14 @@ Result<QueryResult> InstantiationQueryProcessor::RunConjunctive(
   }
   for (ObjectId id : collection_->edited_ids()) {
     const EditedImageInfo* edited = collection_->FindEdited(id);
-    MMDB_ASSIGN_OR_RETURN(ColorHistogram hist, ExactHistogram(*edited));
+    ColorHistogram hist;
+    bool skipped = false;
+    MMDB_RETURN_IF_ERROR(
+        HistogramOrQuarantine(id, *edited, &hist, &skipped));
+    if (skipped) {
+      ++result.stats.corrupt_images_skipped;
+      continue;
+    }
     ++result.stats.images_instantiated;
     if (query.Satisfies(
             [&](BinIndex bin) { return hist.Fraction(bin); })) {

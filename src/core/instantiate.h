@@ -1,6 +1,9 @@
 #ifndef MMDB_CORE_INSTANTIATE_H_
 #define MMDB_CORE_INSTANTIATE_H_
 
+#include <functional>
+#include <utility>
+
 #include "core/collection.h"
 #include "core/query.h"
 #include "core/query_processor.h"
@@ -8,6 +11,18 @@
 #include "util/result.h"
 
 namespace mmdb {
+
+/// Callbacks letting a query processor consult and extend its owner's
+/// quarantine set: images whose stored blobs failed checksum
+/// verification. A quarantined image is silently excluded from answers
+/// (counted in `QueryStats::corrupt_images_skipped`) instead of failing
+/// the whole query. Both callbacks may be null (no quarantine).
+struct QuarantineHooks {
+  /// True iff `id` is already quarantined.
+  std::function<bool(ObjectId)> contains;
+  /// Records `id` as corrupt (called when instantiation hits Corruption).
+  std::function<void(ObjectId)> add;
+};
 
 /// The naive baseline the paper argues against: answer queries over
 /// edited images by materializing each one's pixels with the editor and
@@ -17,6 +32,10 @@ namespace mmdb {
 /// The test suite uses this processor as ground truth: RBM/BWM must
 /// return a superset of its edited-image matches (no false negatives)
 /// and identical binary-image matches.
+///
+/// Corruption tolerance: when materializing an edited image fails with
+/// `Status::Corruption` (bit-flipped raster or edit-script blob), the
+/// image is quarantined and skipped rather than failing the query.
 class InstantiationQueryProcessor : public QueryProcessor {
  public:
   /// `pixels` resolves any object id (binary images at minimum) to its
@@ -24,6 +43,11 @@ class InstantiationQueryProcessor : public QueryProcessor {
   InstantiationQueryProcessor(const AugmentedCollection* collection,
                               const ColorQuantizer* quantizer,
                               ImageResolver pixels);
+
+  /// Installs the owner's quarantine callbacks (default: none).
+  void SetQuarantineHooks(QuarantineHooks hooks) {
+    quarantine_ = std::move(hooks);
+  }
 
   /// Runs `query`, instantiating every edited image.
   Result<QueryResult> RunRange(const RangeQuery& query) const override;
@@ -40,10 +64,16 @@ class InstantiationQueryProcessor : public QueryProcessor {
   Result<ColorHistogram> ExactHistogram(const EditedImageInfo& info) const;
 
  private:
+  /// Exact histogram of edited image `id`, or `*skipped = true` when the
+  /// image is (or becomes) quarantined for corruption.
+  Status HistogramOrQuarantine(ObjectId id, const EditedImageInfo& info,
+                               ColorHistogram* hist, bool* skipped) const;
+
   const AugmentedCollection* collection_;
   const ColorQuantizer* quantizer_;
   ImageResolver pixels_;
   Editor editor_;
+  QuarantineHooks quarantine_;
 };
 
 }  // namespace mmdb

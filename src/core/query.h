@@ -71,6 +71,10 @@ struct QueryStats {
   int64_t rules_applied = 0;
   /// Edited images instantiated (InstantiationMethod only).
   int64_t images_instantiated = 0;
+  /// Images excluded from the answer because their stored blob (raster or
+  /// edit script) failed checksum verification; the query still succeeds
+  /// over the readable remainder.
+  int64_t corrupt_images_skipped = 0;
 
   QueryStats& operator+=(const QueryStats& other) {
     binary_images_checked += other.binary_images_checked;
@@ -78,6 +82,7 @@ struct QueryStats {
     edited_images_skipped += other.edited_images_skipped;
     rules_applied += other.rules_applied;
     images_instantiated += other.images_instantiated;
+    corrupt_images_skipped += other.corrupt_images_skipped;
     return *this;
   }
 };

@@ -127,6 +127,8 @@ void QueryService::CounterSnapshot::PrintTo(std::ostream& os) const {
   table.AddRow({"rules applied", TablePrinter::Cell(stats.rules_applied)});
   table.AddRow(
       {"images instantiated", TablePrinter::Cell(stats.images_instantiated)});
+  table.AddRow({"corrupt images skipped",
+                TablePrinter::Cell(stats.corrupt_images_skipped)});
   table.AddRow(
       {"total query seconds", TablePrinter::Cell(total_query_seconds, 6)});
   table.AddRow(

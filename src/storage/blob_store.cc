@@ -7,25 +7,24 @@ namespace mmdb {
 namespace {
 
 // Header page (page 0) layout.
-constexpr uint32_t kMagic = 0x4d4d4442;  // "MMDB"
-constexpr uint32_t kVersion = 1;
-constexpr size_t kHdrMagic = 0;
-constexpr size_t kHdrVersion = 4;
+constexpr size_t kHdrMagic = blob_format::kMagicOffset;
+constexpr size_t kHdrVersion = blob_format::kVersionOffset;
 constexpr size_t kHdrFreeHead = 8;
 constexpr size_t kHdrDirHead = 12;
 
-// Blob page layout.
+// Blob page layout. Payload stops at kPageUsableSize so the checksum
+// footer never overlaps blob bytes.
 constexpr size_t kBlobNext = 0;
 constexpr size_t kBlobLen = 4;
 constexpr size_t kBlobPayload = 8;
-constexpr size_t kBlobCapacity = kPageSize - kBlobPayload;
+constexpr size_t kBlobCapacity = kPageUsableSize - kBlobPayload;
 
 // Directory page layout.
 constexpr size_t kDirNext = 0;
 constexpr size_t kDirSlots = 8;
 constexpr size_t kDirEntrySize = 16;  // key u64, first_page u32, len u32.
 constexpr uint32_t kSlotsPerDirPage =
-    static_cast<uint32_t>((kPageSize - kDirSlots) / kDirEntrySize);
+    static_cast<uint32_t>((kPageUsableSize - kDirSlots) / kDirEntrySize);
 
 size_t SlotOffset(uint32_t slot) { return kDirSlots + slot * kDirEntrySize; }
 
@@ -47,17 +46,30 @@ Status BlobStore::InitializeHeader() {
       return Status::Corruption("header page allocated at nonzero id");
     }
     Page& page = header.Write();
-    page.WriteU32(kHdrMagic, kMagic);
-    page.WriteU32(kHdrVersion, kVersion);
+    page.WriteU32(kHdrMagic, blob_format::kMagic);
+    page.WriteU32(kHdrVersion, blob_format::kVersion);
     page.WriteU32(kHdrFreeHead, kInvalidPageId);
     page.WriteU32(kHdrDirHead, kInvalidPageId);
     return Status::OK();
   }
   const Page& page = fetched->Read();
-  if (page.ReadU32(kHdrMagic) != kMagic) {
+  if (page.ReadU32(kHdrMagic) == 0) {
+    // An all-zero header page is a crashed (or rolled-back) store
+    // creation: page 0 was allocated but its contents never committed.
+    // Finish the interrupted initialization. Any data pages a crashed
+    // first batch appended become orphans, never reachable corruption.
+    Page& fresh = fetched->Write();
+    fresh.Clear();
+    fresh.WriteU32(kHdrMagic, blob_format::kMagic);
+    fresh.WriteU32(kHdrVersion, blob_format::kVersion);
+    fresh.WriteU32(kHdrFreeHead, kInvalidPageId);
+    fresh.WriteU32(kHdrDirHead, kInvalidPageId);
+    return Status::OK();
+  }
+  if (page.ReadU32(kHdrMagic) != blob_format::kMagic) {
     return Status::Corruption("bad magic in database header");
   }
-  if (page.ReadU32(kHdrVersion) != kVersion) {
+  if (page.ReadU32(kHdrVersion) != blob_format::kVersion) {
     return Status::Corruption("unsupported database version " +
                               std::to_string(page.ReadU32(kHdrVersion)));
   }
@@ -244,6 +256,15 @@ std::vector<uint64_t> BlobStore::Keys() const {
   keys.reserve(directory_.size());
   for (const auto& [key, entry] : directory_) keys.push_back(key);
   return keys;
+}
+
+std::vector<std::pair<uint64_t, PageId>> BlobStore::ChainHeads() const {
+  std::vector<std::pair<uint64_t, PageId>> heads;
+  heads.reserve(directory_.size());
+  for (const auto& [key, entry] : directory_) {
+    heads.emplace_back(key, entry.first_page);
+  }
+  return heads;
 }
 
 Status BlobStore::Flush() { return pool_->FlushAll(); }

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -12,14 +13,31 @@
 
 namespace mmdb {
 
+/// On-disk identification of a blob-store page file, exported so
+/// `DiskObjectStore::Open` can version-gate a file *before* running
+/// journal recovery over it (recovery writes pages, and writing stamps
+/// checksum footers — fatal to a v1 file whose pages may carry payload
+/// in the footer region).
+namespace blob_format {
+inline constexpr uint32_t kMagic = 0x4d4d4442;  // "MMDB"
+/// Version 2 reserves the trailing `kPageFooterSize` bytes of every page
+/// for the CRC-32 footer (see page.h). Version 1 files used the full
+/// 4096 bytes for payload and are rejected, not migrated.
+inline constexpr uint32_t kVersion = 2;
+/// Byte offsets of the magic/version fields within header page 0.
+inline constexpr size_t kMagicOffset = 0;
+inline constexpr size_t kVersionOffset = 4;
+}  // namespace blob_format
+
 /// Key -> blob storage over the page file, used to persist image rasters
 /// (PPM-encoded), edit-script records, and catalog metadata.
 ///
-/// On-disk layout:
+/// On-disk layout (format v2 — every page ends in the checksum footer,
+/// so layouts use the first `kPageUsableSize` bytes):
 ///  * page 0: header {magic, version, free_list_head, directory_head}
 ///  * directory pages: chained fixed-slot arrays of
 ///    {key u64, first_page u32, total_len u32} entries (key 0 = free slot)
-///  * blob pages: chained {next u32, payload_len u32, payload[4088]}
+///  * blob pages: chained {next u32, payload_len u32, payload[4080]}
 ///  * free pages: singly linked through their first 4 bytes
 ///
 /// The directory is mirrored in memory at `Open` so lookups are O(log n)
@@ -44,6 +62,10 @@ class BlobStore {
 
   /// All keys in ascending order.
   std::vector<uint64_t> Keys() const;
+
+  /// Every blob's key and the head page of its chain, in key order —
+  /// for integrity walks (`DiskObjectStore::Scrub`).
+  std::vector<std::pair<uint64_t, PageId>> ChainHeads() const;
 
   size_t BlobCount() const { return directory_.size(); }
 

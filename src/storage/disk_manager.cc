@@ -1,72 +1,83 @@
 #include "storage/disk_manager.h"
 
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <cstdio>
 
 namespace mmdb {
 
 namespace {
-Status Errno(const std::string& what, const std::string& path) {
-  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+
+/// Prefixes an I/O error with the page it addressed, so failures carry
+/// "which page" and not just "which file".
+Status AnnotatePage(const Status& status, const char* what, PageId id) {
+  return Status(status.code(), std::string(what) + " page " +
+                                   std::to_string(id) + ": " +
+                                   status.message());
 }
+
 }  // namespace
 
 DiskManager::~DiskManager() { Close().ok(); }
 
-Status DiskManager::Open(const std::string& path) {
+Status DiskManager::Open(const std::string& path, Env* env, bool checksums) {
   if (file_ != nullptr) {
     return Status::InvalidArgument("disk manager already open: " + path_);
   }
-  // "r+b" keeps existing contents; fall back to "w+b" to create.
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
-  if (f == nullptr) return Errno("open", path);
-  file_ = f;
+  if (env == nullptr) env = Env::Default();
+  MMDB_ASSIGN_OR_RETURN(file_, env->OpenFile(path));
   path_ = path;
+  checksums_ = checksums;
   return Status::OK();
 }
 
 Status DiskManager::Close() {
   if (file_ == nullptr) return Status::OK();
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Errno("close", path_);
-  return Status::OK();
+  const Status closed = file_->Close();
+  file_.reset();
+  return closed;
 }
 
 Result<PageId> DiskManager::PageCount() const {
   if (file_ == nullptr) return Status::InvalidArgument("not open");
-  if (std::fseek(file_, 0, SEEK_END) != 0) return Errno("seek", path_);
-  const long end = std::ftell(file_);
-  if (end < 0) return Errno("tell", path_);
-  return static_cast<PageId>(static_cast<size_t>(end) / kPageSize);
+  MMDB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+  return static_cast<PageId>(size / kPageSize);
 }
 
 Result<PageId> DiskManager::AllocatePage() {
   MMDB_ASSIGN_OR_RETURN(PageId count, PageCount());
   Page zero;
-  if (std::fseek(file_, 0, SEEK_END) != 0) return Errno("seek", path_);
-  if (std::fwrite(zero.data(), kPageSize, 1, file_) != 1) {
-    return Errno("append", path_);
-  }
+  if (checksums_) zero.StampChecksum();
+  const Status appended =
+      file_->WriteAt(static_cast<uint64_t>(count) * kPageSize, zero.data(),
+                     kPageSize);
+  if (!appended.ok()) return AnnotatePage(appended, "append", count);
   return count;
 }
 
-Status DiskManager::ReadPage(PageId id, Page* page) const {
+Status DiskManager::ReadPageRaw(PageId id, Page* page) const {
   if (file_ == nullptr) return Status::InvalidArgument("not open");
   MMDB_ASSIGN_OR_RETURN(PageId count, PageCount());
   if (id >= count) {
     return Status::OutOfRange("page " + std::to_string(id) + " past EOF (" +
                               std::to_string(count) + " pages)");
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return Errno("seek", path_);
-  }
-  if (std::fread(page->data(), kPageSize, 1, file_) != 1) {
-    return Errno("read", path_);
+  const Status read = file_->ReadAt(static_cast<uint64_t>(id) * kPageSize,
+                                    page->data(), kPageSize);
+  if (!read.ok()) return AnnotatePage(read, "read", id);
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, Page* page) const {
+  MMDB_RETURN_IF_ERROR(ReadPageRaw(id, page));
+  if (checksums_ && !page->ChecksumValid()) {
+    return Status::Corruption(
+        "page " + std::to_string(id) + " of " + path_ +
+        ": checksum mismatch (stored 0x" +
+        [](uint32_t v) {
+          char buf[9];
+          std::snprintf(buf, sizeof(buf), "%08x", v);
+          return std::string(buf);
+        }(page->StoredChecksum()) +
+        ")");
   }
   return Status::OK();
 }
@@ -78,21 +89,19 @@ Status DiskManager::WritePage(PageId id, const Page& page) {
     return Status::OutOfRange("write to unallocated page " +
                               std::to_string(id));
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return Errno("seek", path_);
-  }
-  if (std::fwrite(page.data(), kPageSize, 1, file_) != 1) {
-    return Errno("write", path_);
-  }
+  // Stamp the footer on a scratch copy; the caller's in-memory image may
+  // carry a stale footer from the read that populated it.
+  Page out = page;
+  if (checksums_) out.StampChecksum();
+  const Status written = file_->WriteAt(static_cast<uint64_t>(id) * kPageSize,
+                                        out.data(), kPageSize);
+  if (!written.ok()) return AnnotatePage(written, "write", id);
   return Status::OK();
 }
 
 Status DiskManager::Sync() {
   if (file_ == nullptr) return Status::InvalidArgument("not open");
-  if (std::fflush(file_) != 0) return Errno("flush", path_);
-  if (::fsync(::fileno(file_)) != 0) return Errno("fsync", path_);
-  return Status::OK();
+  return file_->Sync();
 }
 
 }  // namespace mmdb

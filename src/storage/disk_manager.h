@@ -1,9 +1,10 @@
 #ifndef MMDB_STORAGE_DISK_MANAGER_H_
 #define MMDB_STORAGE_DISK_MANAGER_H_
 
-#include <cstdio>
+#include <memory>
 #include <string>
 
+#include "storage/env.h"
 #include "storage/page.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -12,8 +13,13 @@ namespace mmdb {
 
 /// Page-granular file I/O for a single database file.
 ///
-/// The disk manager knows nothing about page contents; it reads, writes,
-/// and appends whole pages. Not thread-safe (the engine is single-threaded,
+/// The disk manager knows nothing about page *layouts*; it reads, writes,
+/// and appends whole pages — but it owns page *integrity*: every page
+/// written carries a CRC-32 footer (see `kPageFooterSize` in page.h),
+/// re-stamped on every write-out and verified on every read, so a flipped
+/// bit or torn write surfaces as `Status::Corruption` naming the page.
+/// All raw I/O goes through an `Env` (POSIX by default; tests inject a
+/// `FaultInjectingEnv`). Not thread-safe (the engine is single-threaded,
 /// like the paper's prototype).
 class DiskManager {
  public:
@@ -23,32 +29,45 @@ class DiskManager {
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Opens (creating if absent) the database file at `path`.
-  Status Open(const std::string& path);
+  /// Opens (creating only when absent — an existing file is never
+  /// truncated) the database file at `path` through `env` (null =
+  /// `Env::Default()`). `checksums = false` skips footer stamping and
+  /// verification; for measurement only (bench_storage), never for data
+  /// anyone keeps.
+  Status Open(const std::string& path, Env* env = nullptr,
+              bool checksums = true);
 
-  /// Flushes and closes the file. Safe to call when not open.
+  /// Closes the file. Safe to call when not open.
   Status Close();
 
   bool IsOpen() const { return file_ != nullptr; }
 
-  /// Number of pages currently in the file.
+  /// Number of pages currently in the file (a torn partial page at the
+  /// tail is not counted).
   Result<PageId> PageCount() const;
 
-  /// Appends a zeroed page; returns its id.
+  /// Appends a zeroed (checksummed) page; returns its id.
   Result<PageId> AllocatePage();
 
-  /// Reads page `id` into `*page`. Fails with OutOfRange past EOF.
+  /// Reads page `id` into `*page`, verifying its checksum footer. Fails
+  /// with OutOfRange past EOF and Corruption on a checksum mismatch.
   Status ReadPage(PageId id, Page* page) const;
 
-  /// Writes `page` at `id` (which must already exist).
+  /// Reads page `id` without checksum verification — for format-version
+  /// probing and corruption diagnostics (`DiskObjectStore::Scrub`).
+  Status ReadPageRaw(PageId id, Page* page) const;
+
+  /// Writes `page` at `id` (which must already exist), stamping a fresh
+  /// checksum footer.
   Status WritePage(PageId id, const Page& page);
 
-  /// fflush + fsync.
+  /// Durably flushes written pages (fsync).
   Status Sync();
 
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<File> file_;
   std::string path_;
+  bool checksums_ = true;
 };
 
 }  // namespace mmdb

@@ -1,0 +1,372 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mmdb {
+
+std::string_view IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen:
+      return "open";
+    case IoOp::kRead:
+      return "read";
+    case IoOp::kWrite:
+      return "write";
+    case IoOp::kSync:
+      return "sync";
+    case IoOp::kTruncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// POSIX file over a plain fd, pread/pwrite based. EINTR and short
+/// transfers retry in a loop; genuine errors and EOF surface as IoError.
+class PosixFile final : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status ReadAt(uint64_t offset, void* dst, size_t n) override {
+    MMDB_RETURN_IF_ERROR(CheckOpen("read"));
+    char* out = static_cast<char*>(dst);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t got = ::pread(fd_, out + done, n - done,
+                                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;  // Retry interrupted reads.
+        return ErrnoStatus("read", path_);
+      }
+      if (got == 0) {
+        return Status::IoError("read " + path_ + ": short read at offset " +
+                               std::to_string(offset + done) + " (wanted " +
+                               std::to_string(n) + " bytes)");
+      }
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, const void* src, size_t n) override {
+    MMDB_RETURN_IF_ERROR(CheckOpen("write"));
+    const char* in = static_cast<const char*>(src);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t put = ::pwrite(fd_, in + done, n - done,
+                                   static_cast<off_t>(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) continue;  // Retry interrupted writes.
+        return ErrnoStatus("write", path_);
+      }
+      done += static_cast<size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    MMDB_RETURN_IF_ERROR(CheckOpen("stat"));
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("stat", path_);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Sync() override {
+    MMDB_RETURN_IF_ERROR(CheckOpen("sync"));
+    int rc;
+    do {
+      rc = ::fsync(fd_);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    MMDB_RETURN_IF_ERROR(CheckOpen("truncate"));
+    int rc;
+    do {
+      rc = ::ftruncate(fd_, static_cast<off_t>(size));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) return ErrnoStatus("truncate", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  Status CheckOpen(const char* what) const {
+    if (fd_ < 0) {
+      return Status::IoError(std::string(what) + " " + path_ +
+                             ": file is closed");
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path) override {
+    // O_CREAT without O_TRUNC: opens an existing file intact and creates
+    // a missing one in a single call — there is no failure mode that
+    // truncates existing data (the old fopen("r+b") → fopen("w+b")
+    // fallback had one: any transient error, e.g. EMFILE, fell through
+    // to the truncating create).
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return ErrnoStatus("open", path);
+    return std::unique_ptr<File>(new PosixFile(fd, path));
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// --- FaultInjectingEnv -------------------------------------------------
+
+/// File wrapper that routes every operation through the env's fault
+/// accountant before (maybe) delegating to the real file. Lives in the
+/// mmdb namespace (not file-local) to match the env's friend declaration.
+class FaultInjectingFile final : public File {
+ public:
+  FaultInjectingFile(FaultInjectingEnv* env, std::unique_ptr<File> base,
+                     std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status ReadAt(uint64_t offset, void* dst, size_t n) override;
+  Status WriteAt(uint64_t offset, const void* src, size_t n) override;
+  Result<uint64_t> Size() const override { return base_->Size(); }
+  Status Sync() override;
+  Status Truncate(uint64_t size) override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<File> base_;
+  std::string path_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base) : base_(base) {}
+
+Status FaultInjectingEnv::Account(IoOp op, const std::string& path,
+                                  bool* torn, size_t* torn_keep, bool* flip,
+                                  size_t* flip_byte, int* flip_bit) {
+  log_.push_back({op, path});
+  // The crash point lets exactly `k` operations through, then freezes
+  // the machine: this operation and every later one is refused.
+  if (crash_after_ == 0) {
+    crashed_ = true;
+    crash_after_ = -1;
+  }
+  if (crashed_) {
+    return Status::IoError("injected crash: " + std::string(IoOpName(op)) +
+                           " " + path + " refused");
+  }
+  if (crash_after_ > 0) --crash_after_;
+  Status verdict = Status::OK();
+
+  auto take = [](int64_t* countdown) {
+    if (*countdown < 0) return false;
+    if (--*countdown >= 0) return false;
+    *countdown = -1;
+    return true;
+  };
+
+  int64_t* fail = nullptr;
+  switch (op) {
+    case IoOp::kOpen:
+      fail = &fail_open_;
+      break;
+    case IoOp::kRead:
+      fail = &fail_read_;
+      break;
+    case IoOp::kWrite:
+      fail = &fail_write_;
+      break;
+    case IoOp::kSync:
+      fail = &fail_sync_;
+      break;
+    case IoOp::kTruncate:
+      fail = &fail_truncate_;
+      break;
+  }
+  if (take(fail)) {
+    verdict = Status::IoError("injected fault: " +
+                              std::string(IoOpName(op)) + " " + path);
+  }
+  if (op == IoOp::kWrite && take(&torn_write_)) {
+    *torn = true;
+    *torn_keep = torn_keep_;
+  }
+  if (op == IoOp::kRead && take(&flip_read_)) {
+    *flip = true;
+    *flip_byte = flip_byte_;
+    *flip_bit = flip_bit_;
+  }
+  return verdict;
+}
+
+Status FaultInjectingFile::ReadAt(uint64_t offset, void* dst, size_t n) {
+  bool torn = false, flip = false;
+  size_t keep = 0, flip_byte = 0;
+  int flip_bit = 0;
+  MMDB_RETURN_IF_ERROR(
+      env_->Account(IoOp::kRead, path_, &torn, &keep, &flip, &flip_byte,
+                    &flip_bit));
+  MMDB_RETURN_IF_ERROR(base_->ReadAt(offset, dst, n));
+  if (flip && n > 0) {
+    static_cast<unsigned char*>(dst)[flip_byte % n] ^=
+        static_cast<unsigned char>(1u << (flip_bit & 7));
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFile::WriteAt(uint64_t offset, const void* src,
+                                   size_t n) {
+  bool torn = false, flip = false;
+  size_t keep = 0, flip_byte = 0;
+  int flip_bit = 0;
+  MMDB_RETURN_IF_ERROR(
+      env_->Account(IoOp::kWrite, path_, &torn, &keep, &flip, &flip_byte,
+                    &flip_bit));
+  if (torn) {
+    // Persist only a prefix, then report failure — a torn write.
+    const size_t prefix = keep < n ? keep : n;
+    if (prefix > 0) {
+      MMDB_RETURN_IF_ERROR(base_->WriteAt(offset, src, prefix));
+    }
+    return Status::IoError("injected torn write: " + path_ + " kept " +
+                           std::to_string(prefix) + " of " +
+                           std::to_string(n) + " bytes");
+  }
+  return base_->WriteAt(offset, src, n);
+}
+
+Status FaultInjectingFile::Sync() {
+  bool torn = false, flip = false;
+  size_t keep = 0, flip_byte = 0;
+  int flip_bit = 0;
+  MMDB_RETURN_IF_ERROR(env_->Account(IoOp::kSync, path_, &torn, &keep, &flip,
+                                     &flip_byte, &flip_bit));
+  return base_->Sync();
+}
+
+Status FaultInjectingFile::Truncate(uint64_t size) {
+  bool torn = false, flip = false;
+  size_t keep = 0, flip_byte = 0;
+  int flip_bit = 0;
+  MMDB_RETURN_IF_ERROR(env_->Account(IoOp::kTruncate, path_, &torn, &keep,
+                                     &flip, &flip_byte, &flip_bit));
+  return base_->Truncate(size);
+}
+
+Result<std::unique_ptr<File>> FaultInjectingEnv::OpenFile(
+    const std::string& path) {
+  bool torn = false, flip = false;
+  size_t keep = 0, flip_byte = 0;
+  int flip_bit = 0;
+  MMDB_RETURN_IF_ERROR(Account(IoOp::kOpen, path, &torn, &keep, &flip,
+                               &flip_byte, &flip_bit));
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<File> base, base_->OpenFile(path));
+  return std::unique_ptr<File>(
+      new FaultInjectingFile(this, std::move(base), path));
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) const {
+  return base_->FileExists(path);
+}
+
+void FaultInjectingEnv::FailNth(IoOp op, int64_t n) {
+  int64_t* slot = nullptr;
+  switch (op) {
+    case IoOp::kOpen:
+      slot = &fail_open_;
+      break;
+    case IoOp::kRead:
+      slot = &fail_read_;
+      break;
+    case IoOp::kWrite:
+      slot = &fail_write_;
+      break;
+    case IoOp::kSync:
+      slot = &fail_sync_;
+      break;
+    case IoOp::kTruncate:
+      slot = &fail_truncate_;
+      break;
+  }
+  *slot = n - 1;
+}
+
+void FaultInjectingEnv::TornNthWrite(int64_t n, size_t keep_bytes) {
+  torn_write_ = n - 1;
+  torn_keep_ = keep_bytes;
+}
+
+void FaultInjectingEnv::FlipBitOnNthRead(int64_t n, size_t byte_offset,
+                                         int bit) {
+  flip_read_ = n - 1;
+  flip_byte_ = byte_offset;
+  flip_bit_ = bit;
+}
+
+void FaultInjectingEnv::CrashAfterOps(int64_t k) { crash_after_ = k; }
+
+void FaultInjectingEnv::ClearFaults() {
+  crashed_ = false;
+  crash_after_ = -1;
+  fail_open_ = -1;
+  fail_read_ = -1;
+  fail_write_ = -1;
+  fail_sync_ = -1;
+  fail_truncate_ = -1;
+  torn_write_ = -1;
+  flip_read_ = -1;
+}
+
+}  // namespace mmdb

@@ -1,8 +1,5 @@
 #include "storage/journal.h"
 
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <memory>
 
@@ -30,67 +27,76 @@ uint64_t RecordChecksum(uint32_t page_id, const Page& page) {
   return Fnv1a(page.data(), kPageSize, seed);
 }
 
-Status Errno(const std::string& what, const std::string& path) {
-  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+/// Prefixes an I/O error with the record it addressed.
+Status AnnotateRecord(const Status& status, const char* what, size_t index) {
+  return Status(status.code(), std::string(what) + " journal record " +
+                                   std::to_string(index) + ": " +
+                                   status.message());
 }
 
 }  // namespace
 
-Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path) {
+Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path,
+                                               Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::unique_ptr<Journal> journal(new Journal(path));
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
-  if (f == nullptr) return Errno("open", path);
-  journal->file_ = f;
+  MMDB_ASSIGN_OR_RETURN(journal->file_, env->OpenFile(path));
   MMDB_RETURN_IF_ERROR(journal->ScanExisting());
   return journal;
 }
 
-Journal::~Journal() {
-  if (file_ != nullptr) std::fclose(file_);
+Status Journal::ReadRecordAt(size_t index, PageId* page_id,
+                             Page* page) const {
+  // Record layout: magic u32 | page id u32 | page image | checksum u64.
+  char buffer[kRecordSize];
+  const Status read =
+      file_->ReadAt(index * kRecordSize, buffer, kRecordSize);
+  if (!read.ok()) return AnnotateRecord(read, "read", index);
+  uint32_t magic = 0;
+  uint32_t id = 0;
+  uint64_t checksum = 0;
+  std::memcpy(&magic, buffer, sizeof(magic));
+  std::memcpy(&id, buffer + sizeof(magic), sizeof(id));
+  std::memcpy(page->data(), buffer + sizeof(magic) + sizeof(id), kPageSize);
+  std::memcpy(&checksum, buffer + sizeof(magic) + sizeof(id) + kPageSize,
+              sizeof(checksum));
+  if (magic != kRecordMagic || checksum != RecordChecksum(id, *page)) {
+    return Status::Corruption("journal record " + std::to_string(index) +
+                              " of " + path_ + ": bad magic or checksum");
+  }
+  *page_id = id;
+  return Status::OK();
 }
 
 Status Journal::ScanExisting() {
-  if (std::fseek(file_, 0, SEEK_END) != 0) return Errno("seek", path_);
-  const long size = std::ftell(file_);
-  if (size < 0) return Errno("tell", path_);
+  MMDB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
   record_count_ = 0;
-  if (std::fseek(file_, 0, SEEK_SET) != 0) return Errno("seek", path_);
   // Count the valid record prefix; a torn tail is expected after a crash.
-  while ((record_count_ + 1) * kRecordSize <=
-         static_cast<size_t>(size)) {
-    uint32_t magic = 0, page_id = 0;
-    Page page;
-    uint64_t checksum = 0;
-    if (std::fread(&magic, sizeof(magic), 1, file_) != 1 ||
-        std::fread(&page_id, sizeof(page_id), 1, file_) != 1 ||
-        std::fread(page.data(), kPageSize, 1, file_) != 1 ||
-        std::fread(&checksum, sizeof(checksum), 1, file_) != 1) {
-      break;
-    }
-    if (magic != kRecordMagic ||
-        checksum != RecordChecksum(page_id, page)) {
-      break;
-    }
+  PageId page_id = 0;
+  Page page;
+  while ((record_count_ + 1) * kRecordSize <= size) {
+    if (!ReadRecordAt(record_count_, &page_id, &page).ok()) break;
     ++record_count_;
   }
   return Status::OK();
 }
 
 Status Journal::Append(PageId page_id, const Page& before_image) {
-  if (std::fseek(file_,
-                 static_cast<long>(record_count_ * kRecordSize),
-                 SEEK_SET) != 0) {
-    return Errno("seek", path_);
-  }
+  // Build the whole record in memory so it reaches the env as a single
+  // write (one fault-injection point per record, and no partial-record
+  // interleavings beyond what a real torn write produces).
+  char buffer[kRecordSize];
   const uint32_t magic = kRecordMagic;
   const uint64_t checksum = RecordChecksum(page_id, before_image);
-  if (std::fwrite(&magic, sizeof(magic), 1, file_) != 1 ||
-      std::fwrite(&page_id, sizeof(page_id), 1, file_) != 1 ||
-      std::fwrite(before_image.data(), kPageSize, 1, file_) != 1 ||
-      std::fwrite(&checksum, sizeof(checksum), 1, file_) != 1) {
-    return Errno("append", path_);
-  }
+  std::memcpy(buffer, &magic, sizeof(magic));
+  std::memcpy(buffer + sizeof(magic), &page_id, sizeof(page_id));
+  std::memcpy(buffer + sizeof(magic) + sizeof(page_id), before_image.data(),
+              kPageSize);
+  std::memcpy(buffer + sizeof(magic) + sizeof(page_id) + kPageSize,
+              &checksum, sizeof(checksum));
+  const Status written =
+      file_->WriteAt(record_count_ * kRecordSize, buffer, kRecordSize);
+  if (!written.ok()) return AnnotateRecord(written, "append", record_count_);
   ++record_count_;
   synced_ = false;
   return Status::OK();
@@ -98,17 +104,14 @@ Status Journal::Append(PageId page_id, const Page& before_image) {
 
 Status Journal::EnsureSynced() {
   if (synced_) return Status::OK();
-  if (std::fflush(file_) != 0) return Errno("flush", path_);
-  if (::fsync(::fileno(file_)) != 0) return Errno("fsync", path_);
+  MMDB_RETURN_IF_ERROR(file_->Sync());
   synced_ = true;
   return Status::OK();
 }
 
 Status Journal::Reset() {
-  if (std::fflush(file_) != 0) return Errno("flush", path_);
-  if (::ftruncate(::fileno(file_), 0) != 0) return Errno("truncate", path_);
-  if (::fsync(::fileno(file_)) != 0) return Errno("fsync", path_);
-  if (std::fseek(file_, 0, SEEK_SET) != 0) return Errno("seek", path_);
+  MMDB_RETURN_IF_ERROR(file_->Truncate(0));
+  MMDB_RETURN_IF_ERROR(file_->Sync());
   record_count_ = 0;
   synced_ = true;
   return Status::OK();
@@ -116,20 +119,11 @@ Status Journal::Reset() {
 
 Result<std::vector<std::pair<PageId, Page>>> Journal::ReadRecords() {
   std::vector<std::pair<PageId, Page>> records;
-  if (std::fseek(file_, 0, SEEK_SET) != 0) return Errno("seek", path_);
+  records.reserve(record_count_);
   for (size_t i = 0; i < record_count_; ++i) {
-    uint32_t magic = 0, page_id = 0;
+    PageId page_id = 0;
     Page page;
-    uint64_t checksum = 0;
-    if (std::fread(&magic, sizeof(magic), 1, file_) != 1 ||
-        std::fread(&page_id, sizeof(page_id), 1, file_) != 1 ||
-        std::fread(page.data(), kPageSize, 1, file_) != 1 ||
-        std::fread(&checksum, sizeof(checksum), 1, file_) != 1) {
-      return Status::Corruption("journal: unreadable record");
-    }
-    if (magic != kRecordMagic || checksum != RecordChecksum(page_id, page)) {
-      return Status::Corruption("journal: invalid record inside prefix");
-    }
+    MMDB_RETURN_IF_ERROR(ReadRecordAt(i, &page_id, &page));
     records.emplace_back(page_id, page);
   }
   return records;

@@ -44,15 +44,44 @@ std::vector<uint64_t> MemoryObjectStore::Keys() const {
   return keys;
 }
 
+namespace {
+
+/// Rejects a page file written by a pre-checksum (v1) format *before*
+/// journal recovery gets a chance to write (and checksum-stamp) pages
+/// over it. Uses a raw read: a v1 header page has no footer to verify.
+Status CheckFormatVersion(const DiskManager& disk) {
+  MMDB_ASSIGN_OR_RETURN(PageId page_count, disk.PageCount());
+  if (page_count == 0) return Status::OK();  // Fresh file.
+  Page header;
+  MMDB_RETURN_IF_ERROR(disk.ReadPageRaw(0, &header));
+  if (header.ReadU32(blob_format::kMagicOffset) != blob_format::kMagic) {
+    // Not a blob-store file at all; let BlobStore::Open report it.
+    return Status::OK();
+  }
+  const uint32_t version = header.ReadU32(blob_format::kVersionOffset);
+  if (version < blob_format::kVersion) {
+    return Status::Corruption(
+        "database file is format version " + std::to_string(version) +
+        "; this build reads version " + std::to_string(blob_format::kVersion) +
+        " (pages carry checksum footers). Migrate by re-ingesting into a "
+        "fresh file; in-place conversion would overwrite v1 page payload.");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<DiskObjectStore>> DiskObjectStore::Open(
-    const std::string& path, size_t pool_pages, bool journaled) {
+    const std::string& path, size_t pool_pages, bool journaled, Env* env) {
   std::unique_ptr<DiskObjectStore> store(new DiskObjectStore());
   store->journaled_ = journaled;
   store->disk_ = std::make_unique<DiskManager>();
-  MMDB_RETURN_IF_ERROR(store->disk_->Open(path));
+  MMDB_RETURN_IF_ERROR(store->disk_->Open(path, env));
+  MMDB_RETURN_IF_ERROR(CheckFormatVersion(*store->disk_));
 
   // Recover an interrupted transaction before anything reads the file.
-  MMDB_ASSIGN_OR_RETURN(store->journal_, Journal::Open(path + ".journal"));
+  MMDB_ASSIGN_OR_RETURN(store->journal_,
+                        Journal::Open(path + ".journal", env));
   if (store->journal_->NeedsRecovery()) {
     MMDB_ASSIGN_OR_RETURN(auto records, store->journal_->ReadRecords());
     MMDB_ASSIGN_OR_RETURN(PageId page_count, store->disk_->PageCount());
@@ -196,6 +225,41 @@ Status DiskObjectStore::AbortBatch() {
 Status DiskObjectStore::Flush() {
   MMDB_RETURN_IF_ERROR(CommitTransaction());
   return Status::OK();
+}
+
+Result<DiskObjectStore::ScrubReport> DiskObjectStore::Scrub() const {
+  ScrubReport report;
+  MMDB_ASSIGN_OR_RETURN(report.pages_scanned, disk_->PageCount());
+  Page page;
+  for (PageId id = 0; id < report.pages_scanned; ++id) {
+    const Status read = disk_->ReadPage(id, &page);
+    if (read.code() == StatusCode::kCorruption) {
+      report.corrupt_pages.push_back(id);
+    } else if (!read.ok()) {
+      return read;
+    }
+  }
+  // Attribute corruption to blobs: a chain is damaged when any page on it
+  // is corrupt, points past EOF, or loops (a bad next pointer can do
+  // both, so the walk is bounded by the file's page count).
+  for (const auto& [key, head] : blobs_->ChainHeads()) {
+    PageId id = head;
+    PageId hops = 0;
+    while (id != kInvalidPageId) {
+      if (id >= report.pages_scanned || ++hops > report.pages_scanned) {
+        report.corrupt_keys.push_back(key);
+        break;
+      }
+      const Status read = disk_->ReadPage(id, &page);
+      if (!read.ok()) {
+        if (read.code() != StatusCode::kCorruption) return read;
+        report.corrupt_keys.push_back(key);
+        break;
+      }
+      id = page.ReadU32(0);  // kBlobNext
+    }
+  }
+  return report;
 }
 
 void DiskObjectStore::SimulateCrashForTesting() {

@@ -76,13 +76,35 @@ class MemoryObjectStore final : public ObjectStore {
 /// observes either all of the batch or none of it.
 class DiskObjectStore final : public ObjectStore {
  public:
+  /// Outcome of an integrity scan (`Scrub`).
+  struct ScrubReport {
+    /// Pages in the on-disk file at scan time.
+    PageId pages_scanned = 0;
+    /// Pages whose checksum footer failed verification, ascending.
+    std::vector<PageId> corrupt_pages;
+    /// Blobs whose chain touches a corrupt (or unreachable) page.
+    std::vector<uint64_t> corrupt_keys;
+    bool clean() const { return corrupt_pages.empty() && corrupt_keys.empty(); }
+  };
+
   /// Opens (or creates) the store at `path` with a buffer pool of
   /// `pool_pages` frames. The journal lives at `path` + ".journal";
   /// `journaled = false` opts out of crash consistency (the journal
   /// file, if present from an earlier run, is still recovered first).
+  /// All raw I/O goes through `env` (null = `Env::Default()`).
+  ///
+  /// A file written by the pre-checksum v1 format is rejected with a
+  /// versioned-header Corruption error before journal recovery runs —
+  /// v1 pages may carry payload in the bytes the v2 footer occupies, so
+  /// touching them would destroy data.
   static Result<std::unique_ptr<DiskObjectStore>> Open(
-      const std::string& path, size_t pool_pages = 256,
-      bool journaled = true);
+      const std::string& path, size_t pool_pages = 256, bool journaled = true,
+      Env* env = nullptr);
+
+  /// Scans every page of the on-disk file (checksum verification) and
+  /// walks each blob chain, reporting the extent of any corruption. Reads
+  /// the disk image directly — call on a freshly opened or flushed store.
+  Result<ScrubReport> Scrub() const;
 
   Status Put(uint64_t key, const std::string& value) override;
   Status Upsert(uint64_t key, const std::string& value) override;
@@ -117,10 +139,14 @@ class DiskObjectStore final : public ObjectStore {
   /// Runs `mutation`, committing on success and rolling back on failure.
   Status Mutate(const std::function<Status()>& mutation);
 
+  // Declaration order is a lifetime contract: members destroy in reverse,
+  // and ~BufferPool writes back dirty pages through hooks that hold raw
+  // Journal* and DiskManager* — both must outlive pool_ (and blobs_,
+  // which holds a raw BufferPool*, must not).
   std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<Journal> journal_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BlobStore> blobs_;
-  std::unique_ptr<Journal> journal_;
   bool journaled_ = false;
   int batch_depth_ = 0;
   bool crashed_ = false;

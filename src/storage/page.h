@@ -5,10 +5,32 @@
 #include <cstdint>
 #include <cstring>
 
+#include "util/crc32.h"
+
 namespace mmdb {
 
 /// Fixed database page size, the unit of disk I/O and buffer management.
 inline constexpr size_t kPageSize = 4096;
+
+/// Every on-disk page ends in an 8-byte checksum footer (format v2):
+///
+///   byte [kPageUsableSize + 0, +4)  CRC-32 of bytes [0, kPageUsableSize)
+///   byte [kPageUsableSize + 4, +8)  bitwise NOT of that CRC
+///
+/// `DiskManager::WritePage` / `AllocatePage` stamp the footer on the way
+/// out and `DiskManager::ReadPage` verifies it on the way in, surfacing
+/// any flipped bit or torn write as `Status::Corruption`. The complement
+/// copy guards the guard: a page whose footer region was zeroed or
+/// blitted with a constant fails the cross-check even if the CRC field
+/// happens to collide. Layers above the disk manager (blob chains, the
+/// directory) must confine their layouts to the first `kPageUsableSize`
+/// bytes. Files written by the pre-checksum v1 format are rejected at
+/// open with a versioned-header error (see `DiskObjectStore::Open`).
+inline constexpr size_t kPageFooterSize = 8;
+
+/// Bytes of a page available to payload layouts (everything above the
+/// checksum footer).
+inline constexpr size_t kPageUsableSize = kPageSize - kPageFooterSize;
 
 /// Page number within a database file. Page 0 is the file header.
 using PageId = uint32_t;
@@ -45,6 +67,24 @@ class Page {
   }
 
   void Clear() { data_.fill(0); }
+
+  /// Recomputes the CRC-32 footer from the usable bytes (done by the
+  /// disk manager on every write-out).
+  void StampChecksum() {
+    const uint32_t crc = Crc32(data_.data(), kPageUsableSize);
+    Write(kPageUsableSize, crc);
+    Write(kPageUsableSize + sizeof(uint32_t), ~crc);
+  }
+
+  /// True iff the footer matches the usable bytes.
+  bool ChecksumValid() const {
+    const uint32_t crc = Crc32(data_.data(), kPageUsableSize);
+    return Read<uint32_t>(kPageUsableSize) == crc &&
+           Read<uint32_t>(kPageUsableSize + sizeof(uint32_t)) == ~crc;
+  }
+
+  /// The stored CRC field (for diagnostics; meaningless when invalid).
+  uint32_t StoredChecksum() const { return Read<uint32_t>(kPageUsableSize); }
 
  private:
   template <typename T>

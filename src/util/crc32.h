@@ -1,0 +1,17 @@
+#ifndef MMDB_UTIL_CRC32_H_
+#define MMDB_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmdb {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `len` bytes of `data`.
+/// `seed` chains incremental computations: `Crc32(b, m, Crc32(a, n))` equals
+/// the CRC of `a` followed by `b`. Used for the page checksum footers
+/// (storage/page.h); the journal keeps its older FNV-1a record checksums.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_CRC32_H_
