@@ -40,6 +40,19 @@ int Run() {
       20, rng);
 
   TablePrinter table({"threads", "ms/query", "speedup vs 1 thread"});
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("ablate_parallel");
+  json.Key("workload").BeginObject();
+  json.Key("dataset").String("helmet");
+  json.Key("total_images").Int(1200);
+  json.Key("edited_fraction").Number(0.85);
+  json.Key("queries").Int(20);
+  json.Key("repeats").Int(7);
+  json.Key("hardware_threads")
+      .Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.EndObject();
+  json.Key("points").BeginArray();
   double baseline = 0.0;
   for (int threads : {1, 2, 4, 8}) {
     const ParallelRbmQueryProcessor processor(&(*db)->collection(),
@@ -68,8 +81,19 @@ int Run() {
     table.AddRow({TablePrinter::Cell(threads),
                   TablePrinter::Cell(per_query * 1e3, 4),
                   TablePrinter::Cell(baseline / per_query, 2)});
+    json.BeginObject();
+    json.Key("threads").Int(threads);
+    json.Key("avg_query_seconds").Number(per_query);
+    json.Key("p50_round_seconds").Number(rounds[rounds.size() / 2]);
+    json.Key("max_round_seconds").Number(rounds.back());
+    json.Key("speedup_vs_serial").Number(baseline / per_query);
+    json.EndObject();
   }
   table.Print(std::cout);
+  json.EndArray();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("ablate_parallel", json.Take())) return 1;
   std::cout << "\nExpected shape: near-linear speedup until the thread "
                "count approaches the core count (the scan is "
                "embarrassingly parallel; chunk startup costs bound the "

@@ -12,11 +12,12 @@
 namespace mmdb {
 namespace {
 
-int SweepOpsPerScript() {
+int SweepOpsPerScript(bench::JsonWriter* json) {
   std::cout << "--- (a) avg query time vs. operations per edited image "
                "(helmet, 400 images, 75% edit-stored) ---\n";
   TablePrinter table({"ops/script", "RBM (ms/query)", "BWM (ms/query)",
                       "instantiate (ms/query)"});
+  json->Key("ops_sweep").BeginArray();
   for (int ops : {1, 2, 4, 8, 16, 32}) {
     datasets::DatasetSpec spec;
     spec.kind = datasets::DatasetKind::kHelmets;
@@ -45,16 +46,30 @@ int SweepOpsPerScript() {
                   TablePrinter::Cell(rbm->avg_query_seconds * 1e3, 4),
                   TablePrinter::Cell(bwm->avg_query_seconds * 1e3, 4),
                   TablePrinter::Cell(inst->avg_query_seconds * 1e3, 4)});
+    json->BeginObject();
+    json->Key("ops_per_script").Int(ops);
+    json->Key("rbm").BeginObject();
+    bench::AddTimingFields(json, *rbm);
+    json->EndObject();
+    json->Key("bwm").BeginObject();
+    bench::AddTimingFields(json, *bwm);
+    json->EndObject();
+    json->Key("instantiate").BeginObject();
+    bench::AddTimingFields(json, *inst);
+    json->EndObject();
+    json->EndObject();
   }
   table.Print(std::cout);
+  json->EndArray();
   return 0;
 }
 
-int SweepQuantizer() {
+int SweepQuantizer(bench::JsonWriter* json) {
   std::cout << "\n--- (b) avg query time vs. quantizer divisions per axis "
                "(flag, 300 images, 75% edit-stored) ---\n";
   TablePrinter table(
       {"divisions", "bins", "RBM (ms/query)", "BWM (ms/query)"});
+  json->Key("quantizer_sweep").BeginArray();
   for (int divisions : {2, 4, 8}) {
     DatabaseOptions options;
     options.quantizer_divisions = divisions;
@@ -79,18 +94,35 @@ int SweepQuantizer() {
                   TablePrinter::Cell(divisions * divisions * divisions),
                   TablePrinter::Cell(rbm->avg_query_seconds * 1e3, 4),
                   TablePrinter::Cell(bwm->avg_query_seconds * 1e3, 4)});
+    json->BeginObject();
+    json->Key("divisions").Int(divisions);
+    json->Key("bins").Int(divisions * divisions * divisions);
+    json->Key("rbm").BeginObject();
+    bench::AddTimingFields(json, *rbm);
+    json->EndObject();
+    json->Key("bwm").BeginObject();
+    bench::AddTimingFields(json, *bwm);
+    json->EndObject();
+    json->EndObject();
   }
   table.Print(std::cout);
+  json->EndArray();
   return 0;
 }
 
 int Run() {
   std::cout << "=== Ablation B: rule cost scaling ===\n\n";
-  if (SweepOpsPerScript() != 0) return 1;
-  if (SweepQuantizer() != 0) return 1;
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("ablate_scale");
+  if (SweepOpsPerScript(&json) != 0) return 1;
+  if (SweepQuantizer(&json) != 0) return 1;
   std::cout << "\nExpected shape: RBM/BWM grow linearly with ops/script "
                "and are insensitive to quantizer resolution (one bin is "
                "probed per range query); instantiation dwarfs both.\n";
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("ablate_scale", json.Take())) return 1;
   return 0;
 }
 

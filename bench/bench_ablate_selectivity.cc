@@ -29,6 +29,16 @@ int Run() {
 
   TablePrinter table({"query range", "base hit rate %", "RBM (ms/query)",
                       "BWM (ms/query)", "speedup %", "skipped"});
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("ablate_selectivity");
+  json.Key("workload").BeginObject();
+  json.Key("dataset").String("flag");
+  json.Key("total_images").Int(500);
+  json.Key("edited_fraction").Number(0.8);
+  json.Key("repeats").Int(7);
+  json.EndObject();
+  json.Key("points").BeginArray();
   const std::vector<Rgb> palette = datasets::FlagPalette();
   struct Window {
     double lo;
@@ -75,8 +85,26 @@ int Run() {
          TablePrinter::Cell(bwm.avg_query_seconds * 1e3, 4),
          TablePrinter::Cell(speedup, 2),
          TablePrinter::Cell(bwm.stats.edited_images_skipped)});
+    json.BeginObject();
+    json.Key("window_min_fraction").Number(window.lo);
+    json.Key("window_max_fraction").Number(window.hi);
+    json.Key("base_hit_rate_pct")
+        .Number(100.0 * static_cast<double>(hits) /
+                static_cast<double>(pairs));
+    json.Key("speedup_pct").Number(speedup);
+    json.Key("rbm").BeginObject();
+    bench::AddTimingFields(&json, rbm);
+    json.EndObject();
+    json.Key("bwm").BeginObject();
+    bench::AddTimingFields(&json, bwm);
+    json.EndObject();
+    json.EndObject();
   }
   table.Print(std::cout);
+  json.EndArray();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("ablate_selectivity", json.Take())) return 1;
   std::cout << "\nExpected shape: the higher the base hit rate, the more "
                "clusters BWM accepts wholesale and the larger the "
                "speedup.\n";

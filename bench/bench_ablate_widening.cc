@@ -17,6 +17,17 @@ int Run() {
                "edited images (helmet data set, 80% edit-stored) ===\n\n";
   TablePrinter table({"widening prob", "widening-only", "unclassified",
                       "RBM (ms/query)", "BWM (ms/query)", "speedup %"});
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("ablate_widening");
+  json.Key("workload").BeginObject();
+  json.Key("dataset").String("helmet");
+  json.Key("total_images").Int(500);
+  json.Key("edited_fraction").Number(0.8);
+  json.Key("queries").Int(20);
+  json.Key("repeats").Int(7);
+  json.EndObject();
+  json.Key("points").BeginArray();
   for (double probability : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
     datasets::DatasetSpec spec;
     spec.kind = datasets::DatasetKind::kHelmets;
@@ -49,8 +60,24 @@ int Run() {
                   TablePrinter::Cell(rbm.avg_query_seconds * 1e3, 4),
                   TablePrinter::Cell(bwm.avg_query_seconds * 1e3, 4),
                   TablePrinter::Cell(speedup, 2)});
+    json.BeginObject();
+    json.Key("widening_probability").Number(probability);
+    json.Key("widening_only").Int(stats.widening_only);
+    json.Key("unclassified").Int(stats.non_widening);
+    json.Key("speedup_pct").Number(speedup);
+    json.Key("rbm").BeginObject();
+    bench::AddTimingFields(&json, rbm);
+    json.EndObject();
+    json.Key("bwm").BeginObject();
+    bench::AddTimingFields(&json, bwm);
+    json.EndObject();
+    json.EndObject();
   }
   table.Print(std::cout);
+  json.EndArray();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("ablate_widening", json.Take())) return 1;
   std::cout << "\nExpected shape: speedup grows with the widening "
                "fraction; at 0.0 the data structure cannot help (every "
                "image is unclassified) and overhead is ~0.\n";

@@ -1,7 +1,10 @@
 #ifndef MMDB_BENCH_BENCH_COMMON_H_
 #define MMDB_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/database.h"
@@ -12,9 +15,14 @@
 namespace mmdb::bench {
 
 /// Timing + work counters for one (database, workload, method) run.
+/// Percentiles are over individual query wall times across every timed
+/// round (the warm-up pass is excluded).
 struct WorkloadTiming {
   double avg_query_seconds = 0.0;
   double total_seconds = 0.0;
+  double p50_query_seconds = 0.0;
+  double p95_query_seconds = 0.0;
+  double max_query_seconds = 0.0;
   int queries = 0;
   QueryStats stats;
 };
@@ -47,6 +55,9 @@ std::string KindName(datasets::DatasetKind kind);
 struct FigureSweepConfig {
   datasets::DatasetKind kind = datasets::DatasetKind::kHelmets;
   std::string figure_name = "Figure 3";
+  /// When non-empty, the sweep also writes `BENCH_<json_name>.json` (see
+  /// WriteBenchReport) carrying the same numbers as the stdout table.
+  std::string json_name;
   int total_images = 600;
   int queries = 30;
   int repeats = 12;
@@ -62,6 +73,47 @@ struct FigureSweepConfig {
 /// data structure"). Prints the series plus the average speedup and
 /// returns 0, or prints the error and returns 1.
 int RunFigureSweep(const FigureSweepConfig& config);
+
+/// Minimal streaming JSON emitter for the machine-readable bench
+/// reports. Usage discipline: `Key` only inside an object, values only
+/// in value position; the writer tracks separators, not validity.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  /// Splices pre-serialized JSON (e.g. `Registry::WriteJson` output).
+  JsonWriter& Raw(std::string_view json);
+  std::string Take() { return out_.str(); }
+
+ private:
+  void ValuePrefix();
+
+  std::ostringstream out_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// `Registry::Default().WriteJson` as a string, for embedding the
+/// process's metrics into a bench report.
+std::string RegistryJson();
+
+/// Writes one timing as the fields of an open JSON object:
+/// queries, total/avg/p50/p95/max seconds, and the work counters.
+void AddTimingFields(JsonWriter* json, const WorkloadTiming& timing);
+
+/// Writes `json` to `BENCH_<bench_name>.json` in the working directory
+/// and announces the path on stdout. Every bench target funnels its
+/// machine-readable report through here. Returns false (after printing
+/// the error) when the file cannot be written.
+bool WriteBenchReport(const std::string& bench_name,
+                      const std::string& json);
 
 }  // namespace mmdb::bench
 

@@ -8,5 +8,6 @@ int main() {
   mmdb::bench::FigureSweepConfig config;
   config.kind = mmdb::datasets::DatasetKind::kHelmets;
   config.figure_name = "Figure 3";
+  config.json_name = "fig3_helmet";
   return mmdb::bench::RunFigureSweep(config);
 }

@@ -8,6 +8,7 @@ int main() {
   mmdb::bench::FigureSweepConfig config;
   config.kind = mmdb::datasets::DatasetKind::kFlags;
   config.figure_name = "Figure 4";
+  config.json_name = "fig4_flag";
   // Flags carry slightly longer scripts in our augmentation mix, which is
   // the regime where the paper saw the smaller (22%) advantage.
   config.widening_probability = 0.7;

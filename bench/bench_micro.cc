@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "core/bounds.h"
 #include "core/histogram.h"
 #include "core/rules.h"
@@ -145,4 +149,25 @@ BENCHMARK(BM_RTreeRangeSearch);
 }  // namespace
 }  // namespace mmdb
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to the repo's
+// machine-readable report convention (BENCH_micro.json, google-benchmark's
+// own JSON schema). Explicit --benchmark_out/--benchmark_out_format flags
+// still win because they are parsed after the injected defaults.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  args.push_back(out_flag.data());
+  args.push_back(format_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << "machine-readable report: BENCH_micro.json\n";
+  return 0;
+}

@@ -119,6 +119,19 @@ int Run() {
 
   TablePrinter table({"batch", "threads", "queries/s", "ms/query",
                       "speedup vs serial"});
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("query_service");
+  json.Key("workload").BeginObject();
+  json.Key("dataset").String("helmet");
+  json.Key("total_images").Int(600);
+  json.Key("edited_fraction").Number(0.85);
+  json.Key("method").String("rbm");
+  json.Key("rounds").Int(rounds);
+  json.Key("hardware_threads")
+      .Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.EndObject();
+  json.Key("points").BeginArray();
   for (int batch_size : {8, 32, 128}) {
     std::vector<QueryRequest> batch;
     batch.reserve(static_cast<size_t>(batch_size));
@@ -143,6 +156,15 @@ int Run() {
                   TablePrinter::Cell(batch_size / serial_seconds, 1),
                   TablePrinter::Cell(serial_seconds / batch_size * 1e3, 4),
                   TablePrinter::Cell(1.0, 2)});
+    json.BeginObject();
+    json.Key("batch_size").Int(batch_size);
+    json.Key("threads").Int(0);
+    json.Key("mode").String("serial");
+    json.Key("queries_per_second").Number(batch_size / serial_seconds);
+    json.Key("avg_query_seconds").Number(serial_seconds / batch_size);
+    json.Key("max_round_seconds").Number(serial_rounds.back());
+    json.Key("speedup_vs_serial").Number(1.0);
+    json.EndObject();
 
     for (int threads : {1, 2, 4, 8}) {
       QueryService service(&db, QueryServiceOptions{threads});
@@ -163,9 +185,20 @@ int Run() {
                     TablePrinter::Cell(batch_size / pooled_seconds, 1),
                     TablePrinter::Cell(pooled_seconds / batch_size * 1e3, 4),
                     TablePrinter::Cell(serial_seconds / pooled_seconds, 2)});
+      json.BeginObject();
+      json.Key("batch_size").Int(batch_size);
+      json.Key("threads").Int(threads);
+      json.Key("mode").String("pooled");
+      json.Key("queries_per_second").Number(batch_size / pooled_seconds);
+      json.Key("avg_query_seconds").Number(pooled_seconds / batch_size);
+      json.Key("max_round_seconds").Number(pooled_rounds.back());
+      json.Key("speedup_vs_serial")
+          .Number(serial_seconds / pooled_seconds);
+      json.EndObject();
     }
   }
   table.Print(std::cout);
+  json.EndArray();
 
   QueryService service(&db, QueryServiceOptions{8});
   std::vector<QueryRequest> final_batch;
@@ -174,7 +207,30 @@ int Run() {
   }
   (void)service.ExecuteBatch(final_batch);
   std::cout << "\nService counter snapshot after one BWM batch:\n";
-  service.Snapshot().PrintTo(std::cout);
+  const QueryService::CounterSnapshot snapshot = service.Snapshot();
+  snapshot.PrintTo(std::cout);
+  json.Key("final_bwm_batch").BeginObject();
+  json.Key("queries").Int(snapshot.queries);
+  json.Key("pool_tasks").Int(snapshot.pool_tasks);
+  json.Key("inline_tasks").Int(snapshot.inline_tasks);
+  json.Key("total_queue_wait_seconds")
+      .Number(snapshot.total_queue_wait_seconds);
+  json.Key("max_queue_wait_seconds")
+      .Number(snapshot.max_queue_wait_seconds);
+  json.Key("method_latency").BeginObject();
+  for (const auto& [method, latency] : snapshot.method_latency) {
+    json.Key(QueryMethodName(method)).BeginObject();
+    json.Key("count").Int(latency.count);
+    json.Key("p50_seconds").Number(latency.p50_seconds);
+    json.Key("p95_seconds").Number(latency.p95_seconds);
+    json.Key("max_seconds").Number(latency.max_seconds);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("query_service", json.Take())) return 1;
   std::cout << "\nExpected shape: throughput scales with min(threads, "
                "cores) and grows with batch size as pool dispatch costs "
                "amortize; the serial row is the single-query facade "

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.h"
 #include "storage/disk_manager.h"
 #include "storage/object_store.h"
 #include "util/random.h"
@@ -98,6 +99,23 @@ int Run() {
 
   TablePrinter table({"backend", "blob bytes", "put us/op", "get us/op",
                       "delete us/op"});
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("storage");
+  json.Key("workload").BeginObject();
+  json.Key("blob_ops").Int(kOps);
+  json.EndObject();
+  json.Key("blob_points").BeginArray();
+  auto emit_blob_point = [&json](const char* backend, size_t value_bytes,
+                                 const RunStats& stats) {
+    json.BeginObject();
+    json.Key("backend").String(backend);
+    json.Key("blob_bytes").Int(static_cast<int64_t>(value_bytes));
+    json.Key("put_us_per_op").Number(stats.put_us);
+    json.Key("get_us_per_op").Number(stats.get_us);
+    json.Key("delete_us_per_op").Number(stats.delete_us);
+    json.EndObject();
+  };
   for (size_t value_bytes : {size_t{256}, size_t{16384}}) {
     Rng rng(42);
     {
@@ -108,6 +126,7 @@ int Run() {
                     TablePrinter::Cell(stats->put_us, 2),
                     TablePrinter::Cell(stats->get_us, 2),
                     TablePrinter::Cell(stats->delete_us, 2)});
+      emit_blob_point("memory", value_bytes, *stats);
     }
     for (const bool journaled : {false, true}) {
       std::remove(path.c_str());
@@ -127,8 +146,11 @@ int Run() {
                     TablePrinter::Cell(stats->put_us, 2),
                     TablePrinter::Cell(stats->get_us, 2),
                     TablePrinter::Cell(stats->delete_us, 2)});
+      emit_blob_point(journaled ? "disk_journal" : "disk", value_bytes,
+                      *stats);
     }
   }
+  json.EndArray();
   std::remove(path.c_str());
   std::remove((path + ".journal").c_str());
   table.Print(std::cout);
@@ -141,6 +163,7 @@ int Run() {
   constexpr int kPages = 2048;
   TablePrinter page_table(
       {"mode", "write us/page", "read us/page", "read MB/s"});
+  json.Key("page_points").BeginArray();
   for (const bool checksums : {false, true}) {
     Rng rng(7);
     const auto stats = ExercisePages(checksums, kPages, rng);
@@ -156,8 +179,19 @@ int Run() {
                        TablePrinter::Cell(stats->write_us, 2),
                        TablePrinter::Cell(stats->read_us, 2),
                        TablePrinter::Cell(mb_per_s, 1)});
+    json.BeginObject();
+    json.Key("checksums").Bool(checksums);
+    json.Key("pages").Int(kPages);
+    json.Key("write_us_per_page").Number(stats->write_us);
+    json.Key("read_us_per_page").Number(stats->read_us);
+    json.Key("read_mb_per_second").Number(mb_per_s);
+    json.EndObject();
   }
   page_table.Print(std::cout);
+  json.EndArray();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("storage", json.Take())) return 1;
   std::cout << "\nChecksummed pages pay one CRC-32 over " << kPageUsableSize
             << " bytes per write (stamp) and per read (verify); the table "
                "shows what that buys back in detection against the raw "

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/bounds.h"
 #include "core/histogram.h"
 #include "core/rules.h"
@@ -95,6 +96,16 @@ int Run() {
 
   TablePrinter table({"Editing Operation", "Condition", "HBmin", "HBmax",
                       "Total px", "exact (instantiated)", "sound?"});
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("table1_rules");
+  json.Key("workload").BeginObject();
+  json.Key("base_width").Int(10);
+  json.Key("base_height").Int(10);
+  json.Key("initial_hb_count").Int(base_hist.Count(hb));
+  json.Key("rows").Int(static_cast<int64_t>(rows.size()));
+  json.EndObject();
+  json.Key("rows").BeginArray();
   const Editor editor(pixels);
   bool all_sound = true;
   for (const WorkedRow& row : rows) {
@@ -121,8 +132,22 @@ int Run() {
                   TablePrinter::Cell(state->hb_max),
                   TablePrinter::Cell(state->size),
                   TablePrinter::Cell(exact), sound ? "yes" : "NO"});
+    json.BeginObject();
+    json.Key("operation").String(row.operation);
+    json.Key("condition").String(row.condition);
+    json.Key("hb_min").Int(state->hb_min);
+    json.Key("hb_max").Int(state->hb_max);
+    json.Key("total_pixels").Int(state->size);
+    json.Key("exact_instantiated").Int(exact);
+    json.Key("sound").Bool(sound);
+    json.EndObject();
   }
   table.Print(std::cout);
+  json.EndArray();
+  json.Key("all_sound").Bool(all_sound);
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("table1_rules", json.Take())) return 1;
   std::cout << "\nBound-widening classification (Section 4): Define, "
                "Combine, Modify, Mutate, Merge(NULL) -> widening; "
                "Merge(target) -> not widening.\n"

@@ -69,6 +69,31 @@ int Run() {
         return static_cast<int64_t>(c.stats.non_widening);
       });
   table.Print(std::cout);
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("table2_params");
+  json.Key("datasets").BeginArray();
+  for (const Column& column : columns) {
+    json.BeginObject();
+    json.Key("name").String(column.name);
+    json.Key("total_images")
+        .Int(static_cast<int64_t>(column.stats.binary_ids.size() +
+                                  column.stats.edited_ids.size()));
+    json.Key("binary_images")
+        .Int(static_cast<int64_t>(column.stats.binary_ids.size()));
+    json.Key("edited_images")
+        .Int(static_cast<int64_t>(column.stats.edited_ids.size()));
+    json.Key("avg_ops_per_edited").Number(column.stats.AvgOpsPerEdited());
+    json.Key("widening_only")
+        .Int(static_cast<int64_t>(column.stats.widening_only));
+    json.Key("non_widening")
+        .Int(static_cast<int64_t>(column.stats.non_widening));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("table2_params", json.Take())) return 1;
   std::cout << "\n(Shape per the paper's Table 2; counts are this repo's "
                "defaults because the scraped paper lost the originals.)\n";
   return 0;

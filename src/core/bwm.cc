@@ -3,8 +3,35 @@
 #include <algorithm>
 
 #include "core/bounds.h"
+#include "obs/trace.h"
 
 namespace mmdb {
+
+namespace {
+
+obs::SpanCategory* ScanSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("bwm.scan");
+  return category;
+}
+
+/// Fine-grained span around one Main-cluster wholesale accept (paper
+/// Figure 2, step 4.2) — the cheap side of the BWM split.
+obs::SpanCategory* ClusterAcceptSpan() {
+  static obs::SpanCategory* const category = obs::Tracer::Default().Intern(
+      "bwm.cluster_accept", obs::SpanDetail::kFine);
+  return category;
+}
+
+/// Fine-grained span around one per-image BOUNDS rule fold (step 4.3 /
+/// step 5) — the expensive RBM-fallback side.
+obs::SpanCategory* RuleWalkSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("bwm.rule_walk", obs::SpanDetail::kFine);
+  return category;
+}
+
+}  // namespace
 
 void BwmIndex::InsertBinary(ObjectId id) {
   main_.try_emplace(id);  // Sorted by key; cluster starts empty.
@@ -63,9 +90,11 @@ BwmQueryProcessor::BwmQueryProcessor(const AugmentedCollection* collection,
 
 Result<QueryResult> BwmQueryProcessor::RunRange(
     const RangeQuery& query) const {
+  obs::Span scan_span(ScanSpan());
   QueryResult result;
 
   auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(edited_id);
     if (edited == nullptr) {
       return Status::Corruption("BWM index references missing edited image " +
@@ -102,6 +131,7 @@ Result<QueryResult> BwmQueryProcessor::RunRange(
     if (query.Satisfies(base->histogram.Fraction(query.bin))) {
       // Step 4.2: the base satisfies the query, so every edited image in
       // the cluster does too — no rules applied.
+      obs::Span accept_span(ClusterAcceptSpan());
       result.ids.push_back(base_id);
       result.ids.insert(result.ids.end(), edited_ids.begin(),
                         edited_ids.end());
@@ -124,9 +154,11 @@ Result<QueryResult> BwmQueryProcessor::RunRange(
 
 Result<QueryResult> BwmQueryProcessor::RunConjunctive(
     const ConjunctiveQuery& query) const {
+  obs::Span scan_span(ScanSpan());
   QueryResult result;
 
   auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(edited_id);
     if (edited == nullptr) {
       return Status::Corruption("BWM index references missing edited image " +
@@ -166,6 +198,7 @@ Result<QueryResult> BwmQueryProcessor::RunConjunctive(
     ++result.stats.binary_images_checked;
     if (query.Satisfies(
             [&](BinIndex bin) { return base->histogram.Fraction(bin); })) {
+      obs::Span accept_span(ClusterAcceptSpan());
       result.ids.push_back(base_id);
       result.ids.insert(result.ids.end(), edited_ids.begin(),
                         edited_ids.end());

@@ -8,9 +8,12 @@
 
 #include "core/executor.h"
 #include "core/parallel.h"
+#include "core/query_metrics.h"
 #include "editops/serialize.h"
 #include "index/indexed_bwm.h"
 #include "image/ppm_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mmdb {
 
@@ -75,6 +78,23 @@ struct ProcessorRegistry {
     return *registry;
   }
 };
+
+/// One facade-level span site per access path (`query.bwm`, `query.rbm`,
+/// ...). QueryMethod is closed, so the table is built once.
+obs::SpanCategory* QuerySpanFor(QueryMethod method) {
+  static const std::map<QueryMethod, obs::SpanCategory*>* const table = [] {
+    auto* out = new std::map<QueryMethod, obs::SpanCategory*>();
+    for (QueryMethod m :
+         {QueryMethod::kInstantiate, QueryMethod::kRbm, QueryMethod::kBwm,
+          QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm}) {
+      (*out)[m] = obs::Tracer::Default().Intern(
+          "query." + std::string(QueryMethodName(m)));
+    }
+    return out;
+  }();
+  auto it = table->find(method);
+  return it != table->end() ? it->second : nullptr;
+}
 
 }  // namespace
 
@@ -382,34 +402,45 @@ Result<Image> MultimediaDatabase::GetImage(ObjectId id) const {
 
 Result<QueryResult> MultimediaDatabase::RunRange(const RangeQuery& query,
                                                  QueryMethod method) const {
-  if (query.bin < 0 || query.bin >= quantizer_.BinCount()) {
-    return Status::InvalidArgument("query bin " + std::to_string(query.bin) +
-                                   " out of range");
-  }
-  if (query.min_fraction > query.max_fraction) {
-    return Status::InvalidArgument("query range is empty");
-  }
-  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
-                        MakeProcessor(method));
-  return processor->RunRange(query);
+  obs::Span span(QuerySpanFor(method));
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (query.bin < 0 || query.bin >= quantizer_.BinCount()) {
+      return Status::InvalidArgument("query bin " +
+                                     std::to_string(query.bin) +
+                                     " out of range");
+    }
+    if (query.min_fraction > query.max_fraction) {
+      return Status::InvalidArgument("query range is empty");
+    }
+    MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
+                          MakeProcessor(method));
+    return processor->RunRange(query);
+  }();
+  RecordQueryMetrics(method, /*conjunctive=*/false, result);
+  return result;
 }
 
 Result<QueryResult> MultimediaDatabase::RunConjunctive(
     const ConjunctiveQuery& query, QueryMethod method) const {
-  if (query.conjuncts.empty()) {
-    return Status::InvalidArgument("conjunctive query has no conjuncts");
-  }
-  for (const RangeQuery& conjunct : query.conjuncts) {
-    if (conjunct.bin < 0 || conjunct.bin >= quantizer_.BinCount()) {
-      return Status::InvalidArgument("conjunct bin out of range");
+  obs::Span span(QuerySpanFor(method));
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (query.conjuncts.empty()) {
+      return Status::InvalidArgument("conjunctive query has no conjuncts");
     }
-    if (conjunct.min_fraction > conjunct.max_fraction) {
-      return Status::InvalidArgument("conjunct range is empty");
+    for (const RangeQuery& conjunct : query.conjuncts) {
+      if (conjunct.bin < 0 || conjunct.bin >= quantizer_.BinCount()) {
+        return Status::InvalidArgument("conjunct bin out of range");
+      }
+      if (conjunct.min_fraction > conjunct.max_fraction) {
+        return Status::InvalidArgument("conjunct range is empty");
+      }
     }
-  }
-  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
-                        MakeProcessor(method));
-  return processor->RunConjunctive(query);
+    MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
+                          MakeProcessor(method));
+    return processor->RunConjunctive(query);
+  }();
+  RecordQueryMetrics(method, /*conjunctive=*/true, result);
+  return result;
 }
 
 Status MultimediaDatabase::DeleteImage(ObjectId id) {
@@ -542,8 +573,17 @@ bool MultimediaDatabase::IsQuarantined(ObjectId id) const {
 }
 
 void MultimediaDatabase::QuarantineImage(ObjectId id) const {
+  static obs::Counter* const quarantines = obs::Registry::Default().GetCounter(
+      "mmdb_quarantines_total",
+      "Images quarantined after their stored blob failed verification.");
+  static obs::Gauge* const quarantined = obs::Registry::Default().GetGauge(
+      "mmdb_quarantined_images",
+      "Images currently quarantined (excluded from query answers).");
   std::lock_guard<std::mutex> lock(quarantine_mu_);
-  quarantine_.insert(id);
+  if (quarantine_.insert(id).second) {
+    quarantines->Increment();
+    quarantined->Set(static_cast<double>(quarantine_.size()));
+  }
 }
 
 std::vector<ObjectId> MultimediaDatabase::QuarantinedImages() const {

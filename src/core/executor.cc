@@ -1,11 +1,26 @@
 #include "core/executor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mmdb {
+
+namespace {
+
+/// Queue-wait latency aggregated across every executor in the process
+/// (per-pool totals live in Executor::queue_wait_stats).
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* const histogram =
+      obs::Registry::Default().GetHistogram(
+          "mmdb_executor_queue_wait_seconds",
+          "Time tasks spent queued before a pool worker picked them up.");
+  return histogram;
+}
+
+}  // namespace
 
 Executor::Executor(int worker_count)
     : worker_count_(std::max(0, worker_count)) {
@@ -17,9 +32,43 @@ Executor::Executor(int worker_count)
 
 Executor::~Executor() { Shutdown(); }
 
+void Executor::RecordQueueWait(
+    std::chrono::steady_clock::time_point enqueued) {
+  if constexpr (!obs::kObsEnabled) {
+    (void)enqueued;
+    pool_tasks_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int64_t wait_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - enqueued)
+          .count();
+  pool_tasks_.fetch_add(1, std::memory_order_relaxed);
+  wait_nanos_total_.fetch_add(wait_nanos, std::memory_order_relaxed);
+  int64_t observed_max = wait_nanos_max_.load(std::memory_order_relaxed);
+  while (observed_max < wait_nanos &&
+         !wait_nanos_max_.compare_exchange_weak(observed_max, wait_nanos,
+                                                std::memory_order_relaxed)) {
+  }
+  QueueWaitHistogram()->Record(static_cast<double>(wait_nanos) * 1e-9);
+}
+
+Executor::QueueWaitStats Executor::queue_wait_stats() const {
+  QueueWaitStats stats;
+  stats.pool_tasks = pool_tasks_.load(std::memory_order_relaxed);
+  stats.inline_tasks = inline_tasks_.load(std::memory_order_relaxed);
+  stats.total_wait_seconds =
+      static_cast<double>(wait_nanos_total_.load(std::memory_order_relaxed)) *
+      1e-9;
+  stats.max_wait_seconds =
+      static_cast<double>(wait_nanos_max_.load(std::memory_order_relaxed)) *
+      1e-9;
+  return stats;
+}
+
 void Executor::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(
@@ -29,7 +78,8 @@ void Executor::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RecordQueueWait(task.enqueued);
+    task.fn();
   }
 }
 
@@ -37,12 +87,14 @@ void Executor::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!shutting_down_ && worker_count_ > 0) {
-      queue_.push_back(std::move(task));
+      queue_.push_back(
+          QueuedTask{std::move(task), std::chrono::steady_clock::now()});
       lock.unlock();
       work_available_.notify_one();
       return;
     }
   }
+  inline_tasks_.fetch_add(1, std::memory_order_relaxed);
   task();  // Inline pool, or shut down: never drop work.
 }
 

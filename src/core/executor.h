@@ -1,8 +1,11 @@
 #ifndef MMDB_CORE_EXECUTOR_H_
 #define MMDB_CORE_EXECUTOR_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -54,15 +57,38 @@ class Executor {
   /// Workers this pool was built with (0 for an inline pool).
   int worker_count() const { return worker_count_; }
 
+  /// Cumulative queue-wait observability: how long tasks sat in the FIFO
+  /// between `Submit` and the moment a worker picked them up. Inline
+  /// executions (zero-worker pool, post-shutdown handoff) never wait and
+  /// are counted separately. Also aggregated into the
+  /// `mmdb_executor_queue_wait_seconds` registry histogram.
+  struct QueueWaitStats {
+    int64_t pool_tasks = 0;    ///< Tasks that went through the queue.
+    int64_t inline_tasks = 0;  ///< Tasks run inline on the caller.
+    double total_wait_seconds = 0.0;
+    double max_wait_seconds = 0.0;
+  };
+  QueueWaitStats queue_wait_stats() const;
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
+  void RecordQueueWait(std::chrono::steady_clock::time_point enqueued);
 
   const int worker_count_;
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<int64_t> pool_tasks_{0};
+  std::atomic<int64_t> inline_tasks_{0};
+  std::atomic<int64_t> wait_nanos_total_{0};
+  std::atomic<int64_t> wait_nanos_max_{0};
 };
 
 }  // namespace mmdb

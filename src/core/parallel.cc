@@ -4,8 +4,19 @@
 #include <vector>
 
 #include "core/bounds.h"
+#include "obs/trace.h"
 
 namespace mmdb {
+
+namespace {
+
+obs::SpanCategory* ScanSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("parallel_rbm.scan");
+  return category;
+}
+
+}  // namespace
 
 ParallelRbmQueryProcessor::ParallelRbmQueryProcessor(
     const AugmentedCollection* collection, const RuleEngine* engine,
@@ -70,6 +81,7 @@ Status ParallelRbmQueryProcessor::ScanEdited(QueryResult* result,
 
 Result<QueryResult> ParallelRbmQueryProcessor::RunRange(
     const RangeQuery& query) const {
+  obs::Span scan_span(ScanSpan());
   QueryResult result;
   // Binary images: cheap exact checks, done inline.
   for (ObjectId id : collection_->binary_ids()) {
@@ -102,6 +114,7 @@ Result<QueryResult> ParallelRbmQueryProcessor::RunRange(
 
 Result<QueryResult> ParallelRbmQueryProcessor::RunConjunctive(
     const ConjunctiveQuery& query) const {
+  obs::Span scan_span(ScanSpan());
   QueryResult result;
   for (ObjectId id : collection_->binary_ids()) {
     const BinaryImageInfo* binary = collection_->FindBinary(id);

@@ -1,0 +1,110 @@
+#include "core/query_metrics.h"
+
+#include <map>
+#include <string>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+
+namespace mmdb {
+
+namespace {
+
+struct MethodInstruments {
+  obs::Counter* range_queries = nullptr;
+  obs::Counter* conjunctive_queries = nullptr;
+  obs::Counter* failures = nullptr;
+  obs::Counter* results = nullptr;
+  obs::Counter* binary_checked = nullptr;
+  obs::Counter* bounds_runs = nullptr;
+  obs::Counter* cluster_skips = nullptr;
+  obs::Counter* rules_applied = nullptr;
+  obs::Counter* instantiations = nullptr;
+  obs::Counter* corrupt_skips = nullptr;
+};
+
+/// One instrument set per access path, interned on first use. QueryMethod
+/// is a closed enum, so the whole table is built once (thread-safe magic
+/// static) and lookups after that are lock-free.
+const MethodInstruments& InstrumentsFor(QueryMethod method) {
+  static const std::map<QueryMethod, MethodInstruments>* const table = [] {
+    auto* out = new std::map<QueryMethod, MethodInstruments>();
+    obs::Registry& registry = obs::Registry::Default();
+    for (QueryMethod m :
+         {QueryMethod::kInstantiate, QueryMethod::kRbm, QueryMethod::kBwm,
+          QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm}) {
+      const std::string name(QueryMethodName(m));
+      MethodInstruments instruments;
+      instruments.range_queries = registry.GetCounter(
+          "mmdb_queries_total", "Queries answered, by access path and kind.",
+          {{"method", name}, {"kind", "range"}});
+      instruments.conjunctive_queries = registry.GetCounter(
+          "mmdb_queries_total", "Queries answered, by access path and kind.",
+          {{"method", name}, {"kind", "conjunctive"}});
+      instruments.failures = registry.GetCounter(
+          "mmdb_query_failures_total", "Queries that returned an error.",
+          {{"method", name}});
+      instruments.results = registry.GetCounter(
+          "mmdb_query_results_total", "Result ids returned to callers.",
+          {{"method", name}});
+      instruments.binary_checked = registry.GetCounter(
+          "mmdb_query_binary_images_checked_total",
+          "Binary images whose stored histogram was consulted.",
+          {{"method", name}});
+      instruments.bounds_runs = registry.GetCounter(
+          "mmdb_query_bounds_runs_total",
+          "Edited images for which the BOUNDS rule fold ran.",
+          {{"method", name}});
+      instruments.cluster_skips = registry.GetCounter(
+          "mmdb_query_cluster_skips_total",
+          "Edited images accepted from a BWM Main cluster without touching "
+          "their operations.",
+          {{"method", name}});
+      instruments.rules_applied = registry.GetCounter(
+          "mmdb_query_rules_applied_total",
+          "Individual operation rules applied across all BOUNDS runs.",
+          {{"method", name}});
+      instruments.instantiations = registry.GetCounter(
+          "mmdb_query_instantiations_total",
+          "Edited images materialized by the instantiation baseline.",
+          {{"method", name}});
+      instruments.corrupt_skips = registry.GetCounter(
+          "mmdb_query_corrupt_images_skipped_total",
+          "Images excluded from answers because their stored blob failed "
+          "verification.",
+          {{"method", name}});
+      out->emplace(m, instruments);
+    }
+    return out;
+  }();
+  return table->at(method);
+}
+
+}  // namespace
+
+void RecordQueryMetrics(QueryMethod method, bool conjunctive,
+                        const Result<QueryResult>& result) {
+  if constexpr (!obs::kObsEnabled) {
+    (void)method;
+    (void)conjunctive;
+    (void)result;
+    return;
+  }
+  const MethodInstruments& instruments = InstrumentsFor(method);
+  (conjunctive ? instruments.conjunctive_queries : instruments.range_queries)
+      ->Increment();
+  if (!result.ok()) {
+    instruments.failures->Increment();
+    return;
+  }
+  const QueryStats& stats = result->stats;
+  instruments.results->Increment(static_cast<int64_t>(result->ids.size()));
+  instruments.binary_checked->Increment(stats.binary_images_checked);
+  instruments.bounds_runs->Increment(stats.edited_images_bounded);
+  instruments.cluster_skips->Increment(stats.edited_images_skipped);
+  instruments.rules_applied->Increment(stats.rules_applied);
+  instruments.instantiations->Increment(stats.images_instantiated);
+  instruments.corrupt_skips->Increment(stats.corrupt_images_skipped);
+}
+
+}  // namespace mmdb

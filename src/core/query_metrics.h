@@ -1,0 +1,27 @@
+#ifndef MMDB_CORE_QUERY_METRICS_H_
+#define MMDB_CORE_QUERY_METRICS_H_
+
+#include "core/query.h"
+#include "util/result.h"
+
+namespace mmdb {
+
+enum class QueryMethod;
+
+/// Mirrors one facade query's outcome into the default metrics registry,
+/// labeled by access path: `mmdb_queries_total{method,kind}`,
+/// `mmdb_query_failures_total`, `mmdb_query_results_total`, and the
+/// per-method work counters re-expressing `QueryStats`
+/// (`mmdb_query_rules_applied_total`, `mmdb_query_cluster_skips_total`,
+/// `mmdb_query_bounds_runs_total`, ...). Called once per query by
+/// `MultimediaDatabase::RunRange` / `RunConjunctive`, so every dispatch
+/// route (facade, `QueryService`, examples) feeds the same instruments.
+///
+/// The per-method instrument set is interned once per process; the per
+/// call cost is a handful of relaxed atomic adds.
+void RecordQueryMetrics(QueryMethod method, bool conjunctive,
+                        const Result<QueryResult>& result);
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_QUERY_METRICS_H_

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -20,22 +21,51 @@ int ResolveThreads(const QueryServiceOptions& options) {
   return std::max(1, threads);
 }
 
+obs::SpanCategory* BatchSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("query_service.batch");
+  return category;
+}
+
+obs::SpanCategory* QuerySpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("query_service.query");
+  return category;
+}
+
+constexpr QueryMethod kAllMethods[] = {
+    QueryMethod::kInstantiate, QueryMethod::kRbm, QueryMethod::kBwm,
+    QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm};
+
 }  // namespace
 
 QueryService::QueryService(const MultimediaDatabase* db,
                            QueryServiceOptions options)
-    : db_(db), executor_(ResolveThreads(options) - 1) {}
+    : db_(db), executor_(ResolveThreads(options) - 1) {
+  for (QueryMethod method : kAllMethods) {
+    MethodLatency latency;
+    latency.local = std::make_unique<obs::Histogram>();
+    latency.registry = obs::Registry::Default().GetHistogram(
+        "mmdb_query_latency_seconds",
+        "Per-query wall time through QueryService, by access path.",
+        {{"method", std::string(QueryMethodName(method))}});
+    method_latency_.emplace(method, std::move(latency));
+  }
+  wait_baseline_ = executor_.queue_wait_stats();
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() { executor_.Shutdown(); }
 
 QueryService::QueryObservation QueryService::RunOne(
-    const QueryRequest& request, Result<QueryResult>* out) const {
+    const QueryRequest& request, Result<QueryResult>* out,
+    uint64_t parent_span_id) const {
   QueryObservation observation;
   observation.method = request.method;
   observation.conjunctive = request.conjunctive.has_value();
 
+  obs::Span span(QuerySpan(), parent_span_id);
   Stopwatch watch;
   if (request.range.has_value() == request.conjunctive.has_value()) {
     *out = Status::InvalidArgument(
@@ -56,6 +86,13 @@ QueryService::QueryObservation QueryService::RunOne(
 }
 
 void QueryService::Record(const QueryObservation& observation) {
+  // The histogram pair is lock-free; only the scalar counters need the
+  // mutex.
+  auto latency = method_latency_.find(observation.method);
+  if (latency != method_latency_.end()) {
+    latency->second.local->Record(observation.wall_seconds);
+    latency->second.registry->Record(observation.wall_seconds);
+  }
   std::lock_guard<std::mutex> lock(counters_mu_);
   ++counters_.queries;
   ++counters_.queries_per_method[observation.method];
@@ -79,8 +116,10 @@ std::vector<Result<QueryResult>> QueryService::ExecuteBatch(
     std::span<const QueryRequest> requests) {
   std::vector<Result<QueryResult>> results(
       requests.size(), Result<QueryResult>(Status::Internal("not executed")));
-  executor_.ParallelFor(requests.size(), [&](size_t i) {
-    Record(RunOne(requests[i], &results[i]));
+  obs::Span batch_span(BatchSpan());
+  const uint64_t batch_id = batch_span.id();
+  executor_.ParallelFor(requests.size(), [&, batch_id](size_t i) {
+    Record(RunOne(requests[i], &results[i], batch_id));
   });
   {
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -96,12 +135,40 @@ Result<QueryResult> QueryService::Execute(const QueryRequest& request) {
 }
 
 QueryService::CounterSnapshot QueryService::Snapshot() const {
-  std::lock_guard<std::mutex> lock(counters_mu_);
-  return counters_;
+  CounterSnapshot snapshot;
+  Executor::QueueWaitStats baseline;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    snapshot = counters_;
+    baseline = wait_baseline_;
+  }
+  for (const auto& [method, latency] : method_latency_) {
+    const obs::Histogram::Snapshot seconds = latency.local->Snap();
+    if (seconds.count == 0) continue;
+    LatencySummary summary;
+    summary.count = seconds.count;
+    summary.total_seconds = seconds.sum;
+    summary.p50_seconds = seconds.Percentile(0.5);
+    summary.p95_seconds = seconds.Percentile(0.95);
+    summary.max_seconds = seconds.max;
+    snapshot.method_latency.emplace(method, summary);
+  }
+  const Executor::QueueWaitStats waits = executor_.queue_wait_stats();
+  snapshot.pool_tasks = waits.pool_tasks - baseline.pool_tasks;
+  snapshot.inline_tasks = waits.inline_tasks - baseline.inline_tasks;
+  snapshot.total_queue_wait_seconds =
+      waits.total_wait_seconds - baseline.total_wait_seconds;
+  snapshot.max_queue_wait_seconds = waits.max_wait_seconds;
+  return snapshot;
 }
 
 void QueryService::ResetCounters() {
+  for (const auto& [method, latency] : method_latency_) {
+    (void)method;
+    latency.local->Reset();  // The registry mirror keeps accumulating.
+  }
   std::lock_guard<std::mutex> lock(counters_mu_);
+  wait_baseline_ = executor_.queue_wait_stats();
   counters_ = CounterSnapshot();
 }
 
@@ -139,6 +206,22 @@ void QueryService::CounterSnapshot::PrintTo(std::ostream& os) const {
            queries == 0 ? 0.0
                         : total_query_seconds / static_cast<double>(queries),
            6)});
+  for (const auto& [method, latency] : method_latency) {
+    const std::string prefix =
+        "  " + std::string(QueryMethodName(method)) + " ";
+    table.AddRow({prefix + "p50 seconds",
+                  TablePrinter::Cell(latency.p50_seconds, 6)});
+    table.AddRow({prefix + "p95 seconds",
+                  TablePrinter::Cell(latency.p95_seconds, 6)});
+    table.AddRow({prefix + "max seconds",
+                  TablePrinter::Cell(latency.max_seconds, 6)});
+  }
+  table.AddRow({"executor pool tasks", TablePrinter::Cell(pool_tasks)});
+  table.AddRow({"executor inline tasks", TablePrinter::Cell(inline_tasks)});
+  table.AddRow({"total queue wait seconds",
+                TablePrinter::Cell(total_queue_wait_seconds, 6)});
+  table.AddRow({"max queue wait seconds",
+                TablePrinter::Cell(max_queue_wait_seconds, 6)});
   table.Print(os);
 }
 

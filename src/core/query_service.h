@@ -12,6 +12,7 @@
 #include "core/database.h"
 #include "core/executor.h"
 #include "core/query.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace mmdb {
@@ -75,6 +76,17 @@ class QueryService {
     QueryStats stats;
   };
 
+  /// Distribution summary of one access path's per-query wall time,
+  /// derived from a fixed-bucket histogram (percentiles are interpolated
+  /// within the owning bucket, Prometheus-style).
+  struct LatencySummary {
+    int64_t count = 0;
+    double total_seconds = 0.0;
+    double p50_seconds = 0.0;
+    double p95_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+
   /// Cumulative counters since construction (or `ResetCounters`).
   struct CounterSnapshot {
     int64_t batches = 0;
@@ -89,6 +101,16 @@ class QueryService {
     double max_query_seconds = 0.0;
     /// Successful + failed queries per access path.
     std::map<QueryMethod, int64_t> queries_per_method;
+    /// Per-access-path latency distributions (only paths that ran).
+    std::map<QueryMethod, LatencySummary> method_latency;
+    /// Executor handoffs since the last `ResetCounters`: how many tasks
+    /// went through the pool queue vs ran inline, and how long queued
+    /// tasks waited for a worker. `max_queue_wait_seconds` is since pool
+    /// construction (the pool tracks a single running max).
+    int64_t pool_tasks = 0;
+    int64_t inline_tasks = 0;
+    double total_queue_wait_seconds = 0.0;
+    double max_queue_wait_seconds = 0.0;
 
     /// Renders the snapshot as an aligned counter table.
     void PrintTo(std::ostream& os) const;
@@ -131,15 +153,33 @@ class QueryService {
   void ResetCounters();
 
  private:
+  /// Per-access-path latency instruments: a service-local histogram that
+  /// `Snapshot` summarizes (and `ResetCounters` zeroes), plus the shared
+  /// registry histogram `mmdb_query_latency_seconds{method=...}` the same
+  /// value is mirrored into.
+  struct MethodLatency {
+    std::unique_ptr<obs::Histogram> local;
+    obs::Histogram* registry = nullptr;
+  };
+
   /// Validates + runs one request and returns its observation record.
+  /// `parent_span_id` links the per-query span (which runs on a pool
+  /// worker) to the batch span opened on the submitting thread.
   QueryObservation RunOne(const QueryRequest& request,
-                          Result<QueryResult>* out) const;
+                          Result<QueryResult>* out,
+                          uint64_t parent_span_id) const;
   void Record(const QueryObservation& observation);
 
   const MultimediaDatabase* db_;
   Executor executor_;
+  /// Keyed by the closed QueryMethod enum; built once in the
+  /// constructor, so concurrent lookups need no lock.
+  std::map<QueryMethod, MethodLatency> method_latency_;
   mutable std::mutex counters_mu_;
   CounterSnapshot counters_;
+  /// queue_wait_stats() reading at construction / last ResetCounters;
+  /// Snapshot reports the delta.
+  Executor::QueueWaitStats wait_baseline_;
 };
 
 }  // namespace mmdb

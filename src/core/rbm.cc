@@ -1,8 +1,28 @@
 #include "core/rbm.h"
 
 #include "core/bounds.h"
+#include "obs/trace.h"
 
 namespace mmdb {
+
+namespace {
+
+obs::SpanCategory* ScanSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("rbm.scan");
+  return category;
+}
+
+/// Fine-grained span around one per-image BOUNDS rule fold — RBM pays
+/// this for every edited image, which is exactly the cost BWM avoids on
+/// its Main-cluster accepts.
+obs::SpanCategory* RuleWalkSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("rbm.rule_walk", obs::SpanDetail::kFine);
+  return category;
+}
+
+}  // namespace
 
 RbmQueryProcessor::RbmQueryProcessor(const AugmentedCollection* collection,
                                      const RuleEngine* engine)
@@ -11,6 +31,7 @@ RbmQueryProcessor::RbmQueryProcessor(const AugmentedCollection* collection,
       resolver_(collection->MakeTargetResolver(*engine)) {}
 
 Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
+  obs::Span scan_span(ScanSpan());
   QueryResult result;
   // Binary images: the stored histogram answers the query exactly.
   for (ObjectId id : collection_->binary_ids()) {
@@ -22,6 +43,7 @@ Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
   }
   // Edited images: apply the rule for every operation of every script.
   for (ObjectId id : collection_->edited_ids()) {
+    obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(id);
     const BinaryImageInfo* base =
         collection_->FindBinary(edited->script.base_id);
@@ -46,6 +68,7 @@ Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
 
 Result<QueryResult> RbmQueryProcessor::RunConjunctive(
     const ConjunctiveQuery& query) const {
+  obs::Span scan_span(ScanSpan());
   QueryResult result;
   for (ObjectId id : collection_->binary_ids()) {
     const BinaryImageInfo* binary = collection_->FindBinary(id);
@@ -57,6 +80,7 @@ Result<QueryResult> RbmQueryProcessor::RunConjunctive(
     }
   }
   for (ObjectId id : collection_->edited_ids()) {
+    obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(id);
     const BinaryImageInfo* base =
         collection_->FindBinary(edited->script.base_id);

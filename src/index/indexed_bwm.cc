@@ -3,8 +3,19 @@
 #include <set>
 
 #include "core/bounds.h"
+#include "obs/trace.h"
 
 namespace mmdb {
+
+namespace {
+
+obs::SpanCategory* ScanSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("bwm_indexed.scan");
+  return category;
+}
+
+}  // namespace
 
 IndexedBwmQueryProcessor::IndexedBwmQueryProcessor(
     const AugmentedCollection* collection, const BwmIndex* bwm_index,
@@ -17,6 +28,7 @@ IndexedBwmQueryProcessor::IndexedBwmQueryProcessor(
 
 Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
     const RangeQuery& query) const {
+  obs::Span scan_span(ScanSpan());
   QueryResult result;
 
   // One index probe answers the binary side for every cluster at once.

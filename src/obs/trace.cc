@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace mmdb::obs {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t ThreadHash() {
+  thread_local const uint64_t hash = static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return hash;
+}
+
+/// Innermost open span on this thread (lexical parent for new spans).
+thread_local Span* g_current_span = nullptr;
+/// Its id, mirrored so CurrentSpanId needs no Span internals.
+thread_local uint64_t g_current_span_id = 0;
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{true};
+std::atomic<bool> Tracer::detail_enabled_{false};
+
+Tracer::Tracer(Registry* registry, size_t ring_capacity)
+    : registry_(registry != nullptr ? registry : &Registry::Default()),
+      ring_capacity_(ring_capacity > 0 ? ring_capacity : 1) {
+  ring_.reserve(ring_capacity_);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* const tracer = new Tracer();  // Never destroyed.
+  return *tracer;
+}
+
+SpanCategory* Tracer::Intern(std::string_view name, SpanDetail detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& category : categories_) {
+    if (category->name() == name) return category.get();
+  }
+  Histogram* seconds = registry_->GetHistogram(
+      "mmdb_span_seconds", "Wall time per traced span, by span site.",
+      {{"span", std::string(name)}});
+  categories_.push_back(std::unique_ptr<SpanCategory>(
+      new SpanCategory(this, std::string(name), detail, seconds)));
+  return categories_.back().get();
+}
+
+void Tracer::SetCaptureEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture_ = enabled;
+}
+
+void Tracer::Finish(const SpanRecord& record, SpanCategory* category) {
+  category->seconds_->Record(static_cast<double>(record.duration_ns) * 1e-9);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!capture_) return;
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[ring_next_] = record;
+    ring_next_ = (ring_next_ + 1) % ring_capacity_;
+  }
+}
+
+std::vector<SpanRecord> Tracer::RecentSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // ring_next_ is the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::ClearRecent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_next_ = 0;
+}
+
+void Tracer::DumpRecentJson(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = RecentSpans();
+  os << '[';
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) os << ',';
+    const SpanRecord& span = spans[i];
+    os << "{\"id\":" << span.id << ",\"parent_id\":" << span.parent_id
+       << ",\"name\":\"" << EscapeJson(span.name) << "\",\"start_ns\":"
+       << span.start_ns << ",\"duration_ns\":" << span.duration_ns
+       << ",\"thread\":" << span.thread_hash << '}';
+  }
+  os << ']';
+}
+
+std::vector<Tracer::CategorySummary> Tracer::Summaries() const {
+  std::vector<CategorySummary> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(categories_.size());
+    for (const auto& category : categories_) {
+      CategorySummary summary;
+      summary.name = category->name();
+      summary.seconds = category->seconds_->Snap();
+      out.push_back(std::move(summary));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CategorySummary& a, const CategorySummary& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+uint64_t Tracer::CurrentSpanId() { return g_current_span_id; }
+
+void Span::Start(SpanCategory* category, uint64_t parent_id) {
+  if (category == nullptr || !Tracer::Enabled()) return;
+  if (category->detail() == SpanDetail::kFine && !Tracer::DetailEnabled()) {
+    return;
+  }
+  category_ = category;
+  record_.id = category->tracer_->next_span_id_.fetch_add(
+      1, std::memory_order_relaxed);
+  record_.parent_id =
+      parent_id == kInheritParent ? g_current_span_id : parent_id;
+  record_.name = category->name().c_str();
+  record_.thread_hash = ThreadHash();
+  prev_ = g_current_span;
+  g_current_span = this;
+  g_current_span_id = record_.id;
+  record_.start_ns = NowNanos();  // Last: exclude setup from the timing.
+}
+
+void Span::FinishImpl() {
+  record_.duration_ns = NowNanos() - record_.start_ns;
+  g_current_span = prev_;
+  g_current_span_id = prev_ != nullptr ? prev_->record_.id : 0;
+  category_->tracer_->Finish(record_, category_);
+}
+
+}  // namespace mmdb::obs

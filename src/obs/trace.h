@@ -1,0 +1,195 @@
+#ifndef MMDB_OBS_TRACE_H_
+#define MMDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mmdb::obs {
+
+class Tracer;
+
+/// How expensive a span site is allowed to be.
+enum class SpanDetail {
+  /// Always timed: per-batch, per-query, per-I/O spans whose cost is
+  /// negligible against the work they wrap.
+  kCoarse,
+  /// Per-item spans on the query hot path (one per accepted BWM cluster,
+  /// one per BOUNDS rule walk). Only timed while
+  /// `Tracer::SetDetailEnabled(true)` is in effect, so the default
+  /// configuration keeps the BWM hot path within the <5% overhead budget
+  /// (see docs/OBSERVABILITY.md and bench_obs_overhead).
+  kFine,
+};
+
+/// One interned span site: a stable name plus the registry histogram its
+/// durations aggregate into. Obtained once per call site via
+/// `Tracer::Intern` and cached (function-local static); never deleted.
+class SpanCategory {
+ public:
+  const std::string& name() const { return name_; }
+  SpanDetail detail() const { return detail_; }
+
+ private:
+  friend class Tracer;
+  friend class Span;
+  SpanCategory(Tracer* tracer, std::string name, SpanDetail detail,
+               Histogram* seconds)
+      : tracer_(tracer),
+        name_(std::move(name)),
+        detail_(detail),
+        seconds_(seconds) {}
+
+  Tracer* tracer_;
+  const std::string name_;
+  const SpanDetail detail_;
+  Histogram* seconds_;
+};
+
+/// One finished span, as captured in the tracer's ring buffer.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;       ///< 0 = root.
+  const char* name = "";        ///< Points at the interned category name.
+  int64_t start_ns = 0;         ///< steady_clock nanos at span start.
+  int64_t duration_ns = 0;
+  uint64_t thread_hash = 0;     ///< Hashed std::thread::id.
+};
+
+/// Span collector: interns span sites, aggregates every span's wall time
+/// into per-site registry histograms (`mmdb_span_seconds{span=...}`), and
+/// keeps a fixed-capacity ring of recent spans dumpable as JSON.
+///
+/// Thread safety: `Intern` and ring operations are mutex-guarded (cold /
+/// per-span-finish); the enabled flags are relaxed atomics read on every
+/// span start.
+class Tracer {
+ public:
+  explicit Tracer(Registry* registry = nullptr, size_t ring_capacity = 4096);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The tracer every built-in span site uses, aggregating into
+  /// `Registry::Default()`. Never destroyed.
+  static Tracer& Default();
+
+  /// Returns the category for `name`, creating it on first use. Stable
+  /// pointer; cache it at the call site.
+  SpanCategory* Intern(std::string_view name,
+                       SpanDetail detail = SpanDetail::kCoarse);
+
+  /// Master switch: false makes every span (coarse and fine) a no-op.
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool Enabled() {
+    return kObsEnabled && enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Opt-in switch for `SpanDetail::kFine` sites (per-cluster-accept and
+  /// per-rule-walk timing). Off by default — see SpanDetail::kFine.
+  static void SetDetailEnabled(bool enabled) {
+    detail_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool DetailEnabled() {
+    return detail_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether finished spans are copied into the ring (on by default; the
+  /// per-site histograms aggregate either way).
+  void SetCaptureEnabled(bool enabled);
+
+  /// The captured spans, oldest first.
+  std::vector<SpanRecord> RecentSpans() const;
+
+  /// Drops all captured spans (tests, and the CLI between workloads).
+  void ClearRecent();
+
+  /// Dumps the captured spans as a JSON array of
+  /// {"id","parent_id","name","start_ns","duration_ns","thread"} objects.
+  void DumpRecentJson(std::ostream& os) const;
+
+  /// Aggregate view over every interned site, alphabetical by name.
+  struct CategorySummary {
+    std::string name;
+    Histogram::Snapshot seconds;
+  };
+  std::vector<CategorySummary> Summaries() const;
+
+  /// The id of the span currently open on this thread (0 if none) — pass
+  /// it to `Span`'s explicit-parent constructor to stitch parentage
+  /// across a thread handoff (e.g. executor dispatch).
+  static uint64_t CurrentSpanId();
+
+ private:
+  friend class Span;
+
+  void Finish(const SpanRecord& record, SpanCategory* category);
+
+  static std::atomic<bool> enabled_;
+  static std::atomic<bool> detail_enabled_;
+
+  Registry* registry_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SpanCategory>> categories_;
+  size_t ring_capacity_;
+  bool capture_ = true;
+  std::vector<SpanRecord> ring_;
+  size_t ring_next_ = 0;
+  std::atomic<uint64_t> next_span_id_{1};
+};
+
+/// RAII span: times the enclosed scope and reports to the category's
+/// tracer on destruction. Parentage follows lexical nesting on one thread
+/// (a thread-local stack); use the explicit-parent constructor to link a
+/// span to work that started on another thread.
+///
+/// A null category or a disabled tracer makes the span a complete no-op,
+/// and under MMDB_OBS_OFF the whole class compiles away to nothing.
+class Span {
+ public:
+  explicit Span(SpanCategory* category) : Span(category, kInheritParent) {}
+
+  /// `parent_id` overrides the thread-local parent (0 = root).
+  Span(SpanCategory* category, uint64_t parent_id) {
+    if constexpr (kObsEnabled) {
+      Start(category, parent_id);
+    } else {
+      (void)category;
+      (void)parent_id;
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if constexpr (kObsEnabled) {
+      if (category_ != nullptr) FinishImpl();
+    }
+  }
+
+  /// This span's id (0 when the span is disabled); hand it to spans on
+  /// other threads as their explicit parent.
+  uint64_t id() const { return record_.id; }
+
+ private:
+  static constexpr uint64_t kInheritParent = ~uint64_t{0};
+
+  void Start(SpanCategory* category, uint64_t parent_id);
+  void FinishImpl();
+
+  SpanCategory* category_ = nullptr;  ///< Null when disabled.
+  Span* prev_ = nullptr;              ///< Enclosing span on this thread.
+  SpanRecord record_;
+};
+
+}  // namespace mmdb::obs
+
+#endif  // MMDB_OBS_TRACE_H_

@@ -2,7 +2,43 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace mmdb {
+
+namespace {
+
+/// Registry mirrors of BufferPool::Stats, aggregated across every pool in
+/// the process (per-pool numbers stay on `stats()`).
+struct PoolCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* writebacks;
+};
+
+const PoolCounters& Counters() {
+  static const PoolCounters counters = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    PoolCounters out;
+    out.hits = registry.GetCounter("mmdb_buffer_pool_hits_total",
+                                   "Page fetches served from a resident "
+                                   "frame.");
+    out.misses = registry.GetCounter("mmdb_buffer_pool_misses_total",
+                                     "Page fetches that had to touch the "
+                                     "disk manager.");
+    out.evictions = registry.GetCounter("mmdb_buffer_pool_evictions_total",
+                                        "Frames reclaimed from the LRU "
+                                        "list.");
+    out.writebacks = registry.GetCounter(
+        "mmdb_buffer_pool_writebacks_total",
+        "Dirty frames written back to disk (evictions and flushes).");
+    return out;
+  }();
+  return counters;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity)
     : disk_(disk), capacity_(capacity > 0 ? capacity : 1) {
@@ -32,10 +68,12 @@ Result<size_t> BufferPool::PinFrame(PageId id, bool read_from_disk) {
     }
     ++frame.pin_count;
     ++stats_.hits;
+    Counters().hits->Increment();
     return frame_index;
   }
 
   ++stats_.misses;
+  Counters().misses->Increment();
   size_t frame_index;
   if (!free_frames_.empty()) {
     frame_index = free_frames_.back();
@@ -76,8 +114,10 @@ Status BufferPool::EvictFrame(size_t frame_index) {
   Frame& frame = frames_[frame_index];
   assert(frame.pin_count == 0);
   ++stats_.evictions;
+  Counters().evictions->Increment();
   if (frame.dirty) {
     ++stats_.writebacks;
+    Counters().writebacks->Increment();
     MMDB_RETURN_IF_ERROR(NotifyWriteback());
     MMDB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.page));
     frame.dirty = false;
@@ -124,6 +164,7 @@ Status BufferPool::FlushAll() {
       MMDB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.page));
       frame.dirty = false;
       ++stats_.writebacks;
+      Counters().writebacks->Increment();
     }
   }
   return Status::OK();

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mmdb {
 
 namespace {
@@ -12,6 +15,38 @@ Status AnnotatePage(const Status& status, const char* what, PageId id) {
   return Status(status.code(), std::string(what) + " page " +
                                    std::to_string(id) + ": " +
                                    status.message());
+}
+
+obs::SpanCategory* ReadSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("disk.read_page");
+  return category;
+}
+
+obs::SpanCategory* WriteSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("disk.write_page");
+  return category;
+}
+
+obs::Counter* PagesRead() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_disk_pages_read_total", "Pages read through the disk manager.");
+  return counter;
+}
+
+obs::Counter* PagesWritten() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_disk_pages_written_total",
+      "Pages written through the disk manager.");
+  return counter;
+}
+
+obs::Counter* ChecksumFailures() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_disk_checksum_failures_total",
+      "Page reads rejected because the CRC-32 footer did not match.");
+  return counter;
 }
 
 }  // namespace
@@ -67,8 +102,11 @@ Status DiskManager::ReadPageRaw(PageId id, Page* page) const {
 }
 
 Status DiskManager::ReadPage(PageId id, Page* page) const {
+  obs::Span span(ReadSpan());
   MMDB_RETURN_IF_ERROR(ReadPageRaw(id, page));
+  PagesRead()->Increment();
   if (checksums_ && !page->ChecksumValid()) {
+    ChecksumFailures()->Increment();
     return Status::Corruption(
         "page " + std::to_string(id) + " of " + path_ +
         ": checksum mismatch (stored 0x" +
@@ -83,6 +121,7 @@ Status DiskManager::ReadPage(PageId id, Page* page) const {
 }
 
 Status DiskManager::WritePage(PageId id, const Page& page) {
+  obs::Span span(WriteSpan());
   if (file_ == nullptr) return Status::InvalidArgument("not open");
   MMDB_ASSIGN_OR_RETURN(PageId count, PageCount());
   if (id >= count) {
@@ -96,6 +135,7 @@ Status DiskManager::WritePage(PageId id, const Page& page) {
   const Status written = file_->WriteAt(static_cast<uint64_t>(id) * kPageSize,
                                         out.data(), kPageSize);
   if (!written.ok()) return AnnotatePage(written, "write", id);
+  PagesWritten()->Increment();
   return Status::OK();
 }
 

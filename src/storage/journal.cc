@@ -3,9 +3,39 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mmdb {
 
 namespace {
+
+obs::SpanCategory* AppendSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("journal.append");
+  return category;
+}
+
+obs::SpanCategory* SyncSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("journal.fsync");
+  return category;
+}
+
+obs::Counter* RecordsAppended() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_journal_records_total",
+      "Before-image records appended to the journal.");
+  return counter;
+}
+
+obs::Counter* Syncs() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_journal_syncs_total",
+      "Journal fsync barriers actually issued (deduplicated syncs are "
+      "not counted).");
+  return counter;
+}
 
 constexpr uint32_t kRecordMagic = 0x4a524e4c;  // "JRNL"
 constexpr size_t kRecordSize =
@@ -82,6 +112,7 @@ Status Journal::ScanExisting() {
 }
 
 Status Journal::Append(PageId page_id, const Page& before_image) {
+  obs::Span span(AppendSpan());
   // Build the whole record in memory so it reaches the env as a single
   // write (one fault-injection point per record, and no partial-record
   // interleavings beyond what a real torn write produces).
@@ -99,13 +130,16 @@ Status Journal::Append(PageId page_id, const Page& before_image) {
   if (!written.ok()) return AnnotateRecord(written, "append", record_count_);
   ++record_count_;
   synced_ = false;
+  RecordsAppended()->Increment();
   return Status::OK();
 }
 
 Status Journal::EnsureSynced() {
   if (synced_) return Status::OK();
+  obs::Span span(SyncSpan());
   MMDB_RETURN_IF_ERROR(file_->Sync());
   synced_ = true;
+  Syncs()->Increment();
   return Status::OK();
 }
 

@@ -2,7 +2,56 @@
 
 #include <functional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mmdb {
+
+namespace {
+
+obs::SpanCategory* CommitSpan() {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("store.commit");
+  return category;
+}
+
+obs::Counter* Commits() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_store_commits_total",
+      "Transactions committed by the disk object store.");
+  return counter;
+}
+
+/// The latest Scrub() result, exposed as gauges: an instantaneous health
+/// reading, overwritten by each scrub.
+struct ScrubGauges {
+  obs::Gauge* pages_scanned;
+  obs::Gauge* corrupt_pages;
+  obs::Gauge* corrupt_keys;
+  obs::Counter* scrubs;
+};
+
+const ScrubGauges& ScrubInstruments() {
+  static const ScrubGauges gauges = [] {
+    obs::Registry& registry = obs::Registry::Default();
+    ScrubGauges out;
+    out.pages_scanned = registry.GetGauge(
+        "mmdb_scrub_pages_scanned",
+        "Pages verified by the most recent store scrub.");
+    out.corrupt_pages = registry.GetGauge(
+        "mmdb_scrub_corrupt_pages",
+        "Pages failing checksum in the most recent store scrub.");
+    out.corrupt_keys = registry.GetGauge(
+        "mmdb_scrub_corrupt_keys",
+        "Blob keys with a damaged page chain in the most recent scrub.");
+    out.scrubs = registry.GetCounter("mmdb_scrubs_total",
+                                     "Store scrubs completed.");
+    return out;
+  }();
+  return gauges;
+}
+
+}  // namespace
 
 Status MemoryObjectStore::Put(uint64_t key, const std::string& value) {
   if (key == 0) return Status::InvalidArgument("object key must be non-zero");
@@ -114,12 +163,14 @@ Result<std::unique_ptr<DiskObjectStore>> DiskObjectStore::Open(
 }
 
 Status DiskObjectStore::CommitTransaction() {
+  obs::Span span(CommitSpan());
   if (crashed_) return Status::Internal("store crashed (testing)");
   MMDB_RETURN_IF_ERROR(pool_->TakeCaptureError());
   MMDB_RETURN_IF_ERROR(pool_->FlushAll());
   MMDB_RETURN_IF_ERROR(disk_->Sync());
   MMDB_RETURN_IF_ERROR(journal_->Reset());
   pool_->BeginCaptureEpoch();
+  Commits()->Increment();
   return Status::OK();
 }
 
@@ -259,6 +310,11 @@ Result<DiskObjectStore::ScrubReport> DiskObjectStore::Scrub() const {
       id = page.ReadU32(0);  // kBlobNext
     }
   }
+  const ScrubGauges& gauges = ScrubInstruments();
+  gauges.pages_scanned->Set(static_cast<double>(report.pages_scanned));
+  gauges.corrupt_pages->Set(static_cast<double>(report.corrupt_pages.size()));
+  gauges.corrupt_keys->Set(static_cast<double>(report.corrupt_keys.size()));
+  gauges.scrubs->Increment();
   return report;
 }
 

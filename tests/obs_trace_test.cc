@@ -1,0 +1,231 @@
+// Span tracing semantics: parentage (lexical nesting, explicit
+// cross-thread parents), runtime gating (master switch, kFine detail
+// switch), and the query-pipeline contract the paper's split depends on —
+// a BWM query over Main-cluster images that the base image already
+// satisfies emits cluster-accept spans and zero rule-walk spans.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mmdb {
+namespace {
+
+using obs::Registry;
+using obs::Span;
+using obs::SpanDetail;
+using obs::SpanRecord;
+using obs::Tracer;
+
+int CountByName(const std::vector<SpanRecord>& spans,
+                const std::string& name) {
+  int count = 0;
+  for (const SpanRecord& span : spans) {
+    if (name == span.name) ++count;
+  }
+  return count;
+}
+
+const SpanRecord* FindByName(const std::vector<SpanRecord>& spans,
+                             const std::string& name) {
+  for (const SpanRecord& span : spans) {
+    if (name == span.name) return &span;
+  }
+  return nullptr;
+}
+
+/// Restores the global tracer switches on scope exit so tests can't leak
+/// configuration into each other.
+struct TracerSwitchGuard {
+  ~TracerSwitchGuard() {
+    Tracer::SetEnabled(true);
+    Tracer::SetDetailEnabled(false);
+  }
+};
+
+TEST(TraceTest, SpanParentageFollowsLexicalNesting) {
+  TracerSwitchGuard guard;
+  Tracer::SetEnabled(true);
+  Registry registry;
+  Tracer tracer(&registry);
+  obs::SpanCategory* outer_site = tracer.Intern("outer");
+  obs::SpanCategory* inner_site = tracer.Intern("inner");
+
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    Span outer(outer_site);
+    outer_id = outer.id();
+    EXPECT_EQ(Tracer::CurrentSpanId(), outer_id);
+    {
+      Span inner(inner_site);
+      inner_id = inner.id();
+      EXPECT_EQ(Tracer::CurrentSpanId(), inner_id);
+    }
+    // Popping the inner span restores the outer as current.
+    EXPECT_EQ(Tracer::CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(Tracer::CurrentSpanId(), 0u);
+
+  const std::vector<SpanRecord> spans = tracer.RecentSpans();
+  ASSERT_EQ(spans.size(), 2u);  // Inner finishes (and records) first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].id, inner_id);
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_GE(spans[1].duration_ns, spans[0].duration_ns);
+}
+
+TEST(TraceTest, ExplicitParentStitchesAcrossThreads) {
+  TracerSwitchGuard guard;
+  Tracer::SetEnabled(true);
+  Registry registry;
+  Tracer tracer(&registry);
+  obs::SpanCategory* batch_site = tracer.Intern("batch");
+  obs::SpanCategory* worker_site = tracer.Intern("worker");
+
+  uint64_t batch_id = 0;
+  {
+    Span batch(batch_site);
+    batch_id = batch.id();
+    std::thread worker([&] {
+      // A fresh thread has no current span; the explicit parent links the
+      // worker's span to the batch that dispatched it.
+      EXPECT_EQ(Tracer::CurrentSpanId(), 0u);
+      Span span(worker_site, batch_id);
+    });
+    worker.join();
+  }
+  const std::vector<SpanRecord> spans = tracer.RecentSpans();
+  const SpanRecord* worker_span = FindByName(spans, "worker");
+  const SpanRecord* batch_span = FindByName(spans, "batch");
+  ASSERT_NE(worker_span, nullptr);
+  ASSERT_NE(batch_span, nullptr);
+  EXPECT_EQ(worker_span->parent_id, batch_id);
+  EXPECT_NE(worker_span->thread_hash, batch_span->thread_hash);
+}
+
+TEST(TraceTest, MasterSwitchMakesSpansNoOps) {
+  TracerSwitchGuard guard;
+  Registry registry;
+  Tracer tracer(&registry);
+  obs::SpanCategory* site = tracer.Intern("gated");
+  Tracer::SetEnabled(false);
+  {
+    Span span(site);
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(Tracer::CurrentSpanId(), 0u);
+  }
+  EXPECT_TRUE(tracer.RecentSpans().empty());
+}
+
+TEST(TraceTest, FineSpansRequireDetailEnabled) {
+  TracerSwitchGuard guard;
+  Tracer::SetEnabled(true);
+  Registry registry;
+  Tracer tracer(&registry);
+  obs::SpanCategory* fine_site = tracer.Intern("fine", SpanDetail::kFine);
+
+  Tracer::SetDetailEnabled(false);
+  { Span span(fine_site); }
+  EXPECT_TRUE(tracer.RecentSpans().empty());
+
+  Tracer::SetDetailEnabled(true);
+  { Span span(fine_site); }
+  EXPECT_EQ(tracer.RecentSpans().size(), 1u);
+}
+
+/// A two-image database whose single edited image carries only
+/// bound-widening operations, so BWM clusters it with its base in the
+/// Main Component.
+Result<std::unique_ptr<MultimediaDatabase>> MakeMainClusterDb(
+    ObjectId* base_id, ObjectId* edited_id) {
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<MultimediaDatabase> db,
+                        MultimediaDatabase::Open());
+  const Image red(16, 16, colors::kRed);
+  MMDB_ASSIGN_OR_RETURN(*base_id, db->InsertBinaryImage(red));
+  EditScript script;
+  script.base_id = *base_id;
+  script.ops.push_back(EditOp(CombineOp::BoxBlur()));  // Bound-widening.
+  MMDB_ASSIGN_OR_RETURN(*edited_id, db->InsertEditedImage(script));
+  return db;
+}
+
+TEST(TraceTest, BwmMainClusterAcceptEmitsNoRuleWalkSpans) {
+  TracerSwitchGuard guard;
+  Tracer::SetEnabled(true);
+  Tracer::SetDetailEnabled(true);
+
+  ObjectId base_id = 0;
+  ObjectId edited_id = 0;
+  auto db = MakeMainClusterDb(&base_id, &edited_id);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  // The base (solid red) trivially satisfies [0, 1] on the red bin, so
+  // the whole Main cluster is accepted without a single rule fold.
+  RangeQuery wide;
+  wide.bin = (*db)->BinOf(colors::kRed);
+  wide.min_fraction = 0.0;
+  wide.max_fraction = 1.0;
+  Tracer::Default().ClearRecent();
+  const auto accepted = (*db)->RunRange(wide, QueryMethod::kBwm);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_EQ(accepted->ids.size(), 2u);
+  EXPECT_EQ(accepted->stats.edited_images_skipped, 1);
+
+  std::vector<SpanRecord> spans = Tracer::Default().RecentSpans();
+  EXPECT_EQ(CountByName(spans, "bwm.cluster_accept"), 1);
+  EXPECT_EQ(CountByName(spans, "bwm.rule_walk"), 0);
+  ASSERT_EQ(CountByName(spans, "bwm.scan"), 1);
+  ASSERT_EQ(CountByName(spans, "query.bwm"), 1);
+  // Parentage walks the pipeline: accept -> scan -> facade query span.
+  const SpanRecord* accept = FindByName(spans, "bwm.cluster_accept");
+  const SpanRecord* scan = FindByName(spans, "bwm.scan");
+  const SpanRecord* query_span = FindByName(spans, "query.bwm");
+  EXPECT_EQ(accept->parent_id, scan->id);
+  EXPECT_EQ(scan->parent_id, query_span->id);
+
+  // A window the solid-red base misses (red fraction is 1.0) forces the
+  // BOUNDS fallback: rule walks appear, cluster accepts don't.
+  RangeQuery narrow = wide;
+  narrow.max_fraction = 0.5;
+  Tracer::Default().ClearRecent();
+  const auto walked = (*db)->RunRange(narrow, QueryMethod::kBwm);
+  ASSERT_TRUE(walked.ok()) << walked.status().ToString();
+  spans = Tracer::Default().RecentSpans();
+  EXPECT_EQ(CountByName(spans, "bwm.cluster_accept"), 0);
+  EXPECT_EQ(CountByName(spans, "bwm.rule_walk"), 1);
+}
+
+TEST(TraceTest, DetailOffSuppressesFineQuerySpansButKeepsCoarse) {
+  TracerSwitchGuard guard;
+  Tracer::SetEnabled(true);
+  Tracer::SetDetailEnabled(false);
+
+  ObjectId base_id = 0;
+  ObjectId edited_id = 0;
+  auto db = MakeMainClusterDb(&base_id, &edited_id);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  RangeQuery wide;
+  wide.bin = (*db)->BinOf(colors::kRed);
+  wide.min_fraction = 0.0;
+  wide.max_fraction = 1.0;
+  Tracer::Default().ClearRecent();
+  ASSERT_TRUE((*db)->RunRange(wide, QueryMethod::kBwm).ok());
+  const std::vector<SpanRecord> spans = Tracer::Default().RecentSpans();
+  EXPECT_EQ(CountByName(spans, "bwm.cluster_accept"), 0);
+  EXPECT_EQ(CountByName(spans, "bwm.rule_walk"), 0);
+  EXPECT_EQ(CountByName(spans, "bwm.scan"), 1);
+  EXPECT_EQ(CountByName(spans, "query.bwm"), 1);
+}
+
+}  // namespace
+}  // namespace mmdb
