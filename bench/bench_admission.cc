@@ -1,0 +1,255 @@
+// Admission control under overload: accepted-query latency and shed
+// rejection speed at 2x overload, shed-oldest versus block, against an
+// unloaded baseline (beyond-paper; the serving-robustness counterpart of
+// bench_query_service's throughput sweep).
+//
+// Three scenarios over the same RBM workload:
+//   unloaded  - clients == max_in_flight, kBlock: the baseline p99.
+//   block-2x  - 2x clients, kBlock with a generous timeout: everything
+//               is eventually admitted; queueing shows up as latency.
+//   shed-2x   - 2x clients, kShedOldest with a short waiter queue:
+//               excess arrivals are rejected in microseconds and the
+//               accepted traffic keeps a bounded p99.
+//
+// The report checks the two robustness claims: shed rejections complete
+// in under 1 ms, and the shed scenario's accepted p99 stays within 2x of
+// the unloaded p99.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/query_service.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace mmdb {
+namespace {
+
+constexpr int kMaxInFlight = 4;
+constexpr int kPerClient = 60;
+
+struct ScenarioResult {
+  std::string name;
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  int clients = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> accepted;  // Per-call wall times, seconds.
+  std::vector<double> rejected;
+  int64_t errors = 0;  // Statuses that are neither ok nor rejection.
+  QueryService::CounterSnapshot snapshot;
+};
+
+/// Sorted-vector percentile with nearest-rank rounding (q in [0, 1]).
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index =
+      static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+/// `clients` threads each issue `kPerClient` single queries through the
+/// gate configured by `admission`; per-call wall times are split by
+/// outcome (admitted vs typed ResourceExhausted rejection).
+ScenarioResult RunScenario(const std::string& name,
+                           const MultimediaDatabase& db,
+                           const std::vector<QueryRequest>& requests,
+                           const AdmissionOptions& admission, int clients) {
+  ScenarioResult result;
+  result.name = name;
+  result.policy = admission.policy;
+  result.clients = clients;
+
+  QueryServiceOptions options;
+  options.threads = 1;  // Execute() runs inline; clients supply concurrency.
+  options.admission = admission;
+  QueryService service(&db, options);
+
+  std::vector<std::vector<double>> accepted(static_cast<size_t>(clients));
+  std::vector<std::vector<double>> rejected(static_cast<size_t>(clients));
+  std::vector<int64_t> errors(static_cast<size_t>(clients), 0);
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto slot = static_cast<size_t>(c);
+      for (int i = 0; i < kPerClient; ++i) {
+        const QueryRequest& request =
+            requests[(slot * kPerClient + static_cast<size_t>(i)) %
+                     requests.size()];
+        Stopwatch call;
+        const auto answer = service.Execute(request);
+        const double seconds = call.ElapsedSeconds();
+        if (answer.ok()) {
+          accepted[slot].push_back(seconds);
+        } else if (answer.status().code() == StatusCode::kResourceExhausted) {
+          rejected[slot].push_back(seconds);
+        } else {
+          ++errors[slot];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.wall_seconds = wall.ElapsedSeconds();
+
+  for (int c = 0; c < clients; ++c) {
+    const auto slot = static_cast<size_t>(c);
+    result.accepted.insert(result.accepted.end(), accepted[slot].begin(),
+                           accepted[slot].end());
+    result.rejected.insert(result.rejected.end(), rejected[slot].begin(),
+                           rejected[slot].end());
+    result.errors += errors[slot];
+  }
+  result.snapshot = service.Snapshot();
+  return result;
+}
+
+void AddScenarioJson(bench::JsonWriter* json, const ScenarioResult& r) {
+  json->BeginObject();
+  json->Key("scenario").String(r.name);
+  json->Key("policy").String(AdmissionPolicyName(r.policy));
+  json->Key("clients").Int(r.clients);
+  json->Key("max_in_flight").Int(kMaxInFlight);
+  json->Key("queries").Int(static_cast<int64_t>(r.clients) * kPerClient);
+  json->Key("wall_seconds").Number(r.wall_seconds);
+  json->Key("queries_per_second")
+      .Number(static_cast<double>(r.clients) * kPerClient / r.wall_seconds);
+  json->Key("accepted").BeginObject();
+  json->Key("count").Int(static_cast<int64_t>(r.accepted.size()));
+  json->Key("p50_seconds").Number(Percentile(r.accepted, 0.5));
+  json->Key("p99_seconds").Number(Percentile(r.accepted, 0.99));
+  json->EndObject();
+  json->Key("rejected").BeginObject();
+  json->Key("count").Int(static_cast<int64_t>(r.rejected.size()));
+  json->Key("p50_seconds").Number(Percentile(r.rejected, 0.5));
+  json->Key("p99_seconds").Number(Percentile(r.rejected, 0.99));
+  json->EndObject();
+  json->Key("errors").Int(r.errors);
+  json->Key("admission_rejected").Int(r.snapshot.admission_rejected);
+  json->EndObject();
+}
+
+int Run() {
+  std::cout << "=== Admission control: shed vs block at 2x overload ===\n"
+            << "max_in_flight " << kMaxInFlight << ", " << kPerClient
+            << " queries per client, RBM access path\n\n";
+
+  datasets::DatasetSpec spec;
+  spec.kind = datasets::DatasetKind::kHelmets;
+  spec.total_images = 400;
+  spec.edited_fraction = 0.85;
+  spec.min_ops = 6;
+  spec.max_ops = 12;
+  spec.seed = 52001;
+  auto db = bench::BuildDatabase(spec, nullptr);
+  if (!db.ok()) {
+    std::cerr << "dataset build failed: " << db.status().ToString() << "\n";
+    return 1;
+  }
+
+  Rng rng(52003);
+  const auto windows = datasets::MakeGroundedRangeWorkload(
+      (*db)->collection(), (*db)->quantizer(), datasets::HelmetPalette(), 12,
+      rng);
+  std::vector<QueryRequest> requests;
+  for (const RangeQuery& window : windows) {
+    requests.push_back(QueryRequest::Range(window, QueryMethod::kRbm));
+  }
+
+  AdmissionOptions block;
+  block.max_in_flight = kMaxInFlight;
+  block.policy = AdmissionPolicy::kBlock;
+  block.max_queued = 2 * kMaxInFlight;
+  block.block_timeout_seconds = 30.0;
+
+  AdmissionOptions shed = block;
+  shed.policy = AdmissionPolicy::kShedOldest;
+  shed.max_queued = 2;
+
+  const ScenarioResult unloaded =
+      RunScenario("unloaded", **db, requests, block, kMaxInFlight);
+  const ScenarioResult blocked =
+      RunScenario("block-2x", **db, requests, block, 2 * kMaxInFlight);
+  const ScenarioResult shedding =
+      RunScenario("shed-2x", **db, requests, shed, 2 * kMaxInFlight);
+
+  TablePrinter table({"scenario", "policy", "clients", "accepted", "shed",
+                      "acc p50 ms", "acc p99 ms", "shed p99 ms",
+                      "queries/s"});
+  for (const ScenarioResult* r : {&unloaded, &blocked, &shedding}) {
+    table.AddRow(
+        {r->name, std::string(AdmissionPolicyName(r->policy)),
+         TablePrinter::Cell(r->clients),
+         TablePrinter::Cell(static_cast<int>(r->accepted.size())),
+         TablePrinter::Cell(static_cast<int>(r->rejected.size())),
+         TablePrinter::Cell(Percentile(r->accepted, 0.5) * 1e3, 4),
+         TablePrinter::Cell(Percentile(r->accepted, 0.99) * 1e3, 4),
+         TablePrinter::Cell(Percentile(r->rejected, 0.99) * 1e3, 4),
+         TablePrinter::Cell(
+             static_cast<double>(r->clients) * kPerClient / r->wall_seconds,
+             1)});
+  }
+  table.Print(std::cout);
+
+  // The two robustness claims this bench exists to measure.
+  const double shed_reject_p99 = Percentile(shedding.rejected, 0.99);
+  const bool sheds_fast =
+      shedding.rejected.empty() || shed_reject_p99 < 1e-3;
+  const double unloaded_p99 = Percentile(unloaded.accepted, 0.99);
+  const double shed_accept_p99 = Percentile(shedding.accepted, 0.99);
+  const double p99_ratio =
+      unloaded_p99 > 0.0 ? shed_accept_p99 / unloaded_p99 : 0.0;
+  std::cout << "\nshed rejection p99: " << shed_reject_p99 * 1e3
+            << " ms (target < 1 ms) -> " << (sheds_fast ? "ok" : "SLOW")
+            << "\naccepted p99 under shed vs unloaded: " << p99_ratio
+            << "x (target <= 2x on an otherwise idle machine)\n";
+  if (unloaded.errors + blocked.errors + shedding.errors > 0) {
+    std::cerr << "unexpected non-rejection failures\n";
+    return 1;
+  }
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("admission");
+  json.Key("workload").BeginObject();
+  json.Key("dataset").String("helmet");
+  json.Key("total_images").Int(spec.total_images);
+  json.Key("edited_fraction").Number(spec.edited_fraction);
+  json.Key("method").String("rbm");
+  json.Key("max_in_flight").Int(kMaxInFlight);
+  json.Key("per_client").Int(kPerClient);
+  json.Key("hardware_threads")
+      .Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.EndObject();
+  json.Key("scenarios").BeginArray();
+  AddScenarioJson(&json, unloaded);
+  AddScenarioJson(&json, blocked);
+  AddScenarioJson(&json, shedding);
+  json.EndArray();
+  json.Key("claims").BeginObject();
+  json.Key("shed_rejection_p99_seconds").Number(shed_reject_p99);
+  json.Key("shed_rejection_under_1ms").Bool(sheds_fast);
+  json.Key("shed_accepted_p99_over_unloaded_p99").Number(p99_ratio);
+  json.EndObject();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("admission", json.Take())) return 1;
+
+  std::cout << "\nExpected shape: block-2x admits everything but pays for "
+               "queueing in accepted latency; shed-2x rejects the excess in "
+               "microseconds and keeps the accepted p99 near the unloaded "
+               "baseline.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main() { return mmdb::Run(); }

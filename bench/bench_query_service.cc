@@ -49,7 +49,7 @@ bool VerifyCollection(const std::string& name, const MultimediaDatabase& db,
       requests.push_back(QueryRequest::Conjunctive(conjunctive, method));
     }
   }
-  QueryService service(&db, QueryServiceOptions{8});
+  QueryService service(&db, QueryServiceOptions{8, {}});
   const auto batched = service.ExecuteBatch(requests);
   for (size_t i = 0; i < requests.size(); ++i) {
     const auto serial = RunSerial(db, requests[i]);
@@ -167,7 +167,7 @@ int Run() {
     json.EndObject();
 
     for (int threads : {1, 2, 4, 8}) {
-      QueryService service(&db, QueryServiceOptions{threads});
+      QueryService service(&db, QueryServiceOptions{threads, {}});
       (void)service.ExecuteBatch(batch);  // Warm-up.
       std::vector<double> pooled_rounds;
       for (int r = 0; r < rounds; ++r) {
@@ -200,7 +200,7 @@ int Run() {
   table.Print(std::cout);
   json.EndArray();
 
-  QueryService service(&db, QueryServiceOptions{8});
+  QueryService service(&db, QueryServiceOptions{8, {}});
   std::vector<QueryRequest> final_batch;
   for (const RangeQuery& window : helmet_windows) {
     final_batch.push_back(QueryRequest::Range(window, QueryMethod::kBwm));

@@ -48,7 +48,7 @@ int main() {
     batch.push_back(
         mmdb::QueryRequest::Range(window, mmdb::QueryMethod::kBwm));
   }
-  mmdb::QueryService service(db.get(), mmdb::QueryServiceOptions{4});
+  mmdb::QueryService service(db.get(), mmdb::QueryServiceOptions{4, {}});
   for (const auto& result : service.ExecuteBatch(batch)) {
     if (!result.ok()) {
       std::cerr << result.status().ToString() << "\n";

@@ -55,7 +55,7 @@ int main() {
       conjunctive, mmdb::QueryMethod::kBwmIndexed));
 
   // 3. Execute the whole batch across a 4-thread service.
-  mmdb::QueryService service(db.get(), mmdb::QueryServiceOptions{4});
+  mmdb::QueryService service(db.get(), mmdb::QueryServiceOptions{4, {}});
   const auto results = service.ExecuteBatch(batch);
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].ok()) {

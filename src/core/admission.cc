@@ -1,0 +1,161 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace mmdb {
+
+namespace {
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "mmdb_admission_admitted_total", "Queries admitted past the gate");
+  return counter;
+}
+
+obs::Counter* RejectedCounter(std::string_view reason) {
+  // The three rejection reasons are the only label values; resolve each
+  // once.
+  static obs::Counter* queue_full = obs::Registry::Default().GetCounter(
+      "mmdb_admission_rejected_total",
+      "Queries rejected by the admission gate", {{"reason", "queue-full"}});
+  static obs::Counter* timeout = obs::Registry::Default().GetCounter(
+      "mmdb_admission_rejected_total",
+      "Queries rejected by the admission gate", {{"reason", "timeout"}});
+  static obs::Counter* shed = obs::Registry::Default().GetCounter(
+      "mmdb_admission_rejected_total",
+      "Queries rejected by the admission gate", {{"reason", "shed"}});
+  if (reason == "queue-full") return queue_full;
+  if (reason == "timeout") return timeout;
+  return shed;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "mmdb_admission_shed_total",
+      "Queued queries evicted by newer arrivals (shed-oldest policy)");
+  return counter;
+}
+
+obs::Gauge* InFlightGauge() {
+  static obs::Gauge* gauge = obs::Registry::Default().GetGauge(
+      "mmdb_admission_in_flight", "Queries currently holding an admission slot");
+  return gauge;
+}
+
+}  // namespace
+
+std::string_view AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kShedOldest:
+      return "shed-oldest";
+    case AdmissionPolicy::kRejectNew:
+      return "reject-new";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+AdmissionController::~AdmissionController() = default;
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const Deadline& deadline) {
+  if (options_.max_in_flight <= 0) return Ticket(nullptr);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_flight_ < options_.max_in_flight && waiters_.empty()) {
+    ++in_flight_;
+    InFlightGauge()->Set(static_cast<double>(in_flight_));
+    AdmittedCounter()->Increment();
+    return Ticket(this);
+  }
+
+  if (options_.policy == AdmissionPolicy::kRejectNew) {
+    RejectedCounter("queue-full")->Increment();
+    return Status::ResourceExhausted(
+        "admission: all query slots busy (reject-new policy)");
+  }
+
+  if (static_cast<int>(waiters_.size()) >= std::max(0, options_.max_queued)) {
+    if (options_.policy == AdmissionPolicy::kBlock) {
+      RejectedCounter("queue-full")->Increment();
+      return Status::ResourceExhausted(
+          "admission: waiter queue full (block policy)");
+    }
+    // kShedOldest: evict the oldest waiter so this arrival can queue. The
+    // shed waiter wakes immediately with a typed rejection.
+    Waiter* oldest = waiters_.front();
+    waiters_.pop_front();
+    oldest->shed = true;
+    ShedCounter()->Increment();
+    slot_freed_.notify_all();
+  }
+
+  Waiter self;
+  waiters_.push_back(&self);
+  Deadline wait_limit = Deadline::Earliest(
+      deadline, Deadline::After(options_.block_timeout_seconds));
+  bool timed_out = !slot_freed_.wait_until(
+      lock, wait_limit.time_point(),
+      [&self] { return self.admitted || self.shed; });
+
+  if (self.admitted) {
+    // The releaser already transferred its slot to us (in_flight_ was
+    // never decremented on its side).
+    InFlightGauge()->Set(static_cast<double>(in_flight_));
+    AdmittedCounter()->Increment();
+    return Ticket(this);
+  }
+  if (!self.shed) {
+    // Still queued: remove ourselves before reporting the timeout.
+    auto it = std::find(waiters_.begin(), waiters_.end(), &self);
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+  if (self.shed) {
+    RejectedCounter("shed")->Increment();
+    return Status::ResourceExhausted(
+        "admission: shed by a newer arrival (shed-oldest policy)");
+  }
+  if (timed_out && deadline.Expired()) {
+    RejectedCounter("timeout")->Increment();
+    return Status::DeadlineExceeded(
+        "admission: deadline expired while waiting for a query slot");
+  }
+  RejectedCounter("timeout")->Increment();
+  return Status::ResourceExhausted(
+      "admission: timed out waiting for a query slot");
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Hand the slot to the oldest live waiter instead of freeing it, so no
+  // newcomer can barge past the queue between release and wake-up.
+  while (!waiters_.empty()) {
+    Waiter* next = waiters_.front();
+    waiters_.pop_front();
+    if (next->shed) continue;
+    next->admitted = true;
+    slot_freed_.notify_all();
+    return;
+  }
+  --in_flight_;
+  InFlightGauge()->Set(static_cast<double>(in_flight_));
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(waiters_.size());
+}
+
+}  // namespace mmdb

@@ -1,0 +1,125 @@
+#ifndef MMDB_CORE_ADMISSION_H_
+#define MMDB_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+
+#include "core/cancel.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// What happens to an arriving query when every execution slot is taken.
+enum class AdmissionPolicy {
+  /// Wait (bounded by `block_timeout_seconds` and the query's deadline)
+  /// for a slot; time out with a typed rejection.
+  kBlock,
+  /// Queue the arrival; when the waiter queue is full, evict the oldest
+  /// waiter with ResourceExhausted so fresh traffic keeps flowing.
+  kShedOldest,
+  /// Reject the arrival immediately with ResourceExhausted.
+  kRejectNew,
+};
+
+/// Stable lowercase policy name ("block", "shed-oldest", "reject-new").
+std::string_view AdmissionPolicyName(AdmissionPolicy policy);
+
+/// Sizing and policy of an `AdmissionController`.
+struct AdmissionOptions {
+  /// Queries allowed to execute at once. 0 disables admission control
+  /// entirely (the gate admits everything and keeps no state).
+  int max_in_flight = 0;
+  /// Waiters allowed to queue beyond the in-flight slots (kBlock and
+  /// kShedOldest). An arrival beyond this is rejected (kBlock) or sheds
+  /// the oldest waiter (kShedOldest).
+  int max_queued = 16;
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  /// kBlock: the longest an arrival may wait for a slot.
+  double block_timeout_seconds = 1.0;
+};
+
+/// A bounded-concurrency gate with a configurable overload policy.
+/// Overload never grows an unbounded queue: every arrival either gets a
+/// slot, waits in a bounded FIFO, or is rejected fast with a typed
+/// `Status` — and a shed waiter is woken immediately, so shedding takes
+/// microseconds, not a queue drain.
+///
+/// Emits `mmdb_admission_admitted_total`, `mmdb_admission_rejected_total`
+/// (labeled by reason: queue-full / timeout / shed) and the
+/// `mmdb_admission_in_flight` gauge.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+  ~AdmissionController();
+
+  /// An RAII execution slot; releasing it hands the slot to the oldest
+  /// waiter, if any.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : owner_(other.owner_) {
+      other.owner_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* owner) : owner_(owner) {}
+    void Release() {
+      if (owner_ != nullptr) {
+        owner_->Release();
+        owner_ = nullptr;
+      }
+    }
+    AdmissionController* owner_ = nullptr;
+  };
+
+  /// Admits the caller or rejects it per the configured policy. A finite
+  /// `deadline` bounds a kBlock wait (expiry surfaces as
+  /// DeadlineExceeded, matching what the query itself would return).
+  Result<Ticket> Admit(const Deadline& deadline = {});
+
+  /// Queries currently holding a slot.
+  int in_flight() const;
+  /// Arrivals currently waiting for a slot.
+  int queued() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  /// One parked arrival. The slot handoff happens under the mutex: a
+  /// releaser marks the oldest waiter admitted instead of freeing its
+  /// own slot, so a slot can never leak between release and wake-up.
+  struct Waiter {
+    bool admitted = false;
+    bool shed = false;
+  };
+
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  std::deque<Waiter*> waiters_;
+  int in_flight_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_ADMISSION_H_

@@ -6,10 +6,12 @@ Result<RuleState> ComputeRuleState(const RuleEngine& engine,
                                    const EditScript& script, BinIndex hb,
                                    int64_t base_hb_count, int32_t base_width,
                                    int32_t base_height,
-                                   const TargetBoundsResolver& resolver) {
+                                   const TargetBoundsResolver& resolver,
+                                   CancelCheck* check) {
   RuleState state =
       RuleEngine::InitialState(base_hb_count, base_width, base_height);
   for (const EditOp& op : script.ops) {
+    if (check != nullptr) MMDB_RETURN_IF_ERROR(check->Check());
     MMDB_RETURN_IF_ERROR(engine.ApplyRule(op, hb, resolver, &state));
   }
   return state;
@@ -28,11 +30,12 @@ Result<FractionBounds> ComputeBounds(const RuleEngine& engine,
                                      const EditScript& script, BinIndex hb,
                                      int64_t base_hb_count,
                                      int32_t base_width, int32_t base_height,
-                                     const TargetBoundsResolver& resolver) {
+                                     const TargetBoundsResolver& resolver,
+                                     CancelCheck* check) {
   MMDB_ASSIGN_OR_RETURN(
       RuleState state,
       ComputeRuleState(engine, script, hb, base_hb_count, base_width,
-                       base_height, resolver));
+                       base_height, resolver, check));
   return ToFractionBounds(state);
 }
 

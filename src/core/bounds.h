@@ -1,6 +1,7 @@
 #ifndef MMDB_CORE_BOUNDS_H_
 #define MMDB_CORE_BOUNDS_H_
 
+#include "core/cancel.h"
 #include "core/rules.h"
 #include "editops/edit_ops.h"
 #include "util/result.h"
@@ -29,11 +30,16 @@ struct FractionBounds {
 ///
 /// `resolver` is consulted only for Merge operations with non-null
 /// targets.
+///
+/// A non-null `check` is consulted between operations, so a long edit
+/// script honors deadlines and cancellation mid-walk (the interrupt
+/// status propagates out like any rule error).
 Result<FractionBounds> ComputeBounds(const RuleEngine& engine,
                                      const EditScript& script, BinIndex hb,
                                      int64_t base_hb_count,
                                      int32_t base_width, int32_t base_height,
-                                     const TargetBoundsResolver& resolver);
+                                     const TargetBoundsResolver& resolver,
+                                     CancelCheck* check = nullptr);
 
 /// As `ComputeBounds`, but returns the final raw rule state (pixel-count
 /// bounds, exact size and dimensions) for callers that need more than the
@@ -42,7 +48,8 @@ Result<RuleState> ComputeRuleState(const RuleEngine& engine,
                                    const EditScript& script, BinIndex hb,
                                    int64_t base_hb_count, int32_t base_width,
                                    int32_t base_height,
-                                   const TargetBoundsResolver& resolver);
+                                   const TargetBoundsResolver& resolver,
+                                   CancelCheck* check = nullptr);
 
 /// Converts a final rule state to fraction bounds ([0, 0] for an empty
 /// image).

@@ -1,0 +1,47 @@
+#include "core/breaker.h"
+
+#include "obs/metrics.h"
+
+namespace mmdb {
+
+namespace {
+
+obs::Counter* TripsCounter() {
+  static obs::Counter* counter = obs::Registry::Default().GetCounter(
+      "mmdb_breaker_trips_total",
+      "Per-image I/O circuit breakers tripped open");
+  return counter;
+}
+
+obs::Gauge* OpenGauge() {
+  static obs::Gauge* gauge = obs::Registry::Default().GetGauge(
+      "mmdb_breaker_open_images",
+      "Images whose I/O circuit breaker is currently open");
+  return gauge;
+}
+
+}  // namespace
+
+bool CircuitBreaker::RecordFailure(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_.count(id) != 0) return false;
+  int count = ++failures_[id];
+  if (count < trip_threshold_) return false;
+  open_.insert(id);
+  TripsCounter()->Increment();
+  OpenGauge()->Set(static_cast<double>(open_.size()));
+  return true;
+}
+
+bool CircuitBreaker::IsOpen(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.count(id) != 0;
+}
+
+int CircuitBreaker::FailureCount(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = failures_.find(id);
+  return it == failures_.end() ? 0 : it->second;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,46 @@
+#ifndef MMDB_CORE_BREAKER_H_
+#define MMDB_CORE_BREAKER_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "editops/edit_ops.h"
+
+namespace mmdb {
+
+/// A per-image I/O circuit breaker. Each transient-read failure that
+/// survives the retry loop counts against the image; at `trip_threshold`
+/// failures the breaker opens for that image and stays open — the caller
+/// is expected to quarantine it so later queries skip it instead of
+/// burning the full retry budget on a page that keeps failing.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(int trip_threshold = 3)
+      : trip_threshold_(trip_threshold) {}
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Records one I/O failure for `id`. Returns true exactly once, on the
+  /// failure that trips the breaker; later failures for an open breaker
+  /// return false (the image should already be quarantined).
+  bool RecordFailure(ObjectId id);
+
+  /// True iff the breaker has opened for `id`.
+  bool IsOpen(ObjectId id) const;
+
+  /// Recorded failures for `id` (for tests and stats).
+  int FailureCount(ObjectId id) const;
+
+  int trip_threshold() const { return trip_threshold_; }
+
+ private:
+  const int trip_threshold_;
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, int> failures_;
+  std::unordered_set<ObjectId> open_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_BREAKER_H_

@@ -88,12 +88,14 @@ BwmQueryProcessor::BwmQueryProcessor(const AugmentedCollection* collection,
       engine_(engine),
       resolver_(collection->MakeTargetResolver(*engine)) {}
 
-Result<QueryResult> BwmQueryProcessor::RunRange(
-    const RangeQuery& query) const {
+Result<QueryResult> BwmQueryProcessor::RunRange(const RangeQuery& query,
+                                                const QueryContext& ctx) const {
   obs::Span scan_span(ScanSpan());
   QueryResult result;
+  CancelCheck check(ctx);
 
   auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    MMDB_RETURN_IF_ERROR(check.Check());
     obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(edited_id);
     if (edited == nullptr) {
@@ -110,7 +112,7 @@ Result<QueryResult> BwmQueryProcessor::RunRange(
         FractionBounds bounds,
         ComputeBounds(*engine_, edited->script, query.bin,
                       base->histogram.Count(query.bin), base->width,
-                      base->height, resolver_));
+                      base->height, resolver_, check.enabled_or_null()));
     ++result.stats.edited_images_bounded;
     result.stats.rules_applied +=
         static_cast<int64_t>(edited->script.ops.size());
@@ -122,6 +124,7 @@ Result<QueryResult> BwmQueryProcessor::RunRange(
 
   // Figure 2, step 4: walk the Main Component clusters.
   for (const auto& [base_id, edited_ids] : index_->main_map()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* base = collection_->FindBinary(base_id);
     if (base == nullptr) {
       return Status::Corruption("BWM cluster references missing base " +
@@ -140,24 +143,28 @@ Result<QueryResult> BwmQueryProcessor::RunRange(
     } else {
       // Step 4.3: fall back to the BOUNDS computation per cluster member.
       for (ObjectId edited_id : edited_ids) {
-        MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+        MMDB_RETURN_IF_ERROR(
+            AnnotateInterrupt(ctx, result, bound_and_collect(edited_id)));
       }
     }
   }
 
   // Figure 2, step 5: the Unclassified Component always pays full price.
   for (ObjectId edited_id : index_->Unclassified()) {
-    MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+    MMDB_RETURN_IF_ERROR(
+        AnnotateInterrupt(ctx, result, bound_and_collect(edited_id)));
   }
   return result;
 }
 
 Result<QueryResult> BwmQueryProcessor::RunConjunctive(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, const QueryContext& ctx) const {
   obs::Span scan_span(ScanSpan());
   QueryResult result;
+  CancelCheck check(ctx);
 
   auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    MMDB_RETURN_IF_ERROR(check.Check());
     obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(edited_id);
     if (edited == nullptr) {
@@ -176,7 +183,7 @@ Result<QueryResult> BwmQueryProcessor::RunConjunctive(
           FractionBounds bounds,
           ComputeBounds(*engine_, edited->script, conjunct.bin,
                         base->histogram.Count(conjunct.bin), base->width,
-                        base->height, resolver_));
+                        base->height, resolver_, check.enabled_or_null()));
       result.stats.rules_applied +=
           static_cast<int64_t>(edited->script.ops.size());
       if (!bounds.Overlaps(conjunct.min_fraction, conjunct.max_fraction)) {
@@ -190,6 +197,7 @@ Result<QueryResult> BwmQueryProcessor::RunConjunctive(
   };
 
   for (const auto& [base_id, edited_ids] : index_->main_map()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* base = collection_->FindBinary(base_id);
     if (base == nullptr) {
       return Status::Corruption("BWM cluster references missing base " +
@@ -206,12 +214,14 @@ Result<QueryResult> BwmQueryProcessor::RunConjunctive(
           static_cast<int64_t>(edited_ids.size());
     } else {
       for (ObjectId edited_id : edited_ids) {
-        MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+        MMDB_RETURN_IF_ERROR(
+            AnnotateInterrupt(ctx, result, bound_and_collect(edited_id)));
       }
     }
   }
   for (ObjectId edited_id : index_->Unclassified()) {
-    MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+    MMDB_RETURN_IF_ERROR(
+        AnnotateInterrupt(ctx, result, bound_and_collect(edited_id)));
   }
   return result;
 }

@@ -79,16 +79,21 @@ class BwmQueryProcessor : public QueryProcessor {
   BwmQueryProcessor(const AugmentedCollection* collection,
                     const BwmIndex* index, const RuleEngine* engine);
 
-  /// Runs `query` ("with data structure").
-  Result<QueryResult> RunRange(const RangeQuery& query) const override;
+  using QueryProcessor::RunConjunctive;
+  using QueryProcessor::RunRange;
+
+  /// Runs `query` ("with data structure"). Checks `ctx`'s limits per
+  /// cluster (one check covers a wholesale accept) and per bounded image.
+  Result<QueryResult> RunRange(const RangeQuery& query,
+                               const QueryContext& ctx) const override;
 
   /// Conjunctive variant: a Main cluster is accepted wholesale when its
   /// base satisfies *every* conjunct (the widening argument applies
   /// per bin, so each member's per-conjunct range contains the base's
   /// satisfying value). Identical result sets to
   /// `RbmQueryProcessor::RunConjunctive`.
-  Result<QueryResult> RunConjunctive(
-      const ConjunctiveQuery& query) const override;
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
+                                     const QueryContext& ctx) const override;
 
  private:
   const AugmentedCollection* collection_;

@@ -1,0 +1,70 @@
+#include "core/cancel.h"
+
+namespace mmdb {
+
+namespace {
+
+/// The innermost `CancelScope` context on this thread.
+thread_local const QueryContext* g_scope_ctx = nullptr;
+
+Status TokenStatus(const QueryContext& ctx) {
+  if ((ctx.cancel != nullptr && ctx.cancel->Cancelled()) ||
+      (ctx.batch_cancel != nullptr && ctx.batch_cancel->Cancelled())) {
+    return Status::Cancelled("query cancelled by caller");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CancelCheck::CheckSlow() {
+  if (tripped_) return trip_status_;
+  // Tokens are one relaxed-ish atomic load each — checked every call.
+  Status status = TokenStatus(*ctx_);
+  if (status.ok()) {
+    // The clock is the expensive part; consult it every stride-th call.
+    if (--countdown_ > 0) return Status::OK();
+    countdown_ = ctx_->check_stride > 0 ? ctx_->check_stride : 1;
+    if (ctx_->deadline.Expired()) {
+      status = Status::DeadlineExceeded("query deadline exceeded");
+    }
+  }
+  if (!status.ok()) {
+    tripped_ = true;
+    trip_status_ = status;
+  }
+  return status;
+}
+
+Status AnnotateInterrupt(const QueryContext& ctx, const QueryResult& partial,
+                         Status status) {
+  if (ctx.interrupt != nullptr && IsInterruptStatus(status)) {
+    ctx.interrupt->partial = true;
+    ctx.interrupt->reason = status.code();
+    ctx.interrupt->results_so_far = static_cast<int64_t>(partial.ids.size());
+    ctx.interrupt->stats = partial.stats;
+  }
+  return status;
+}
+
+CancelScope::CancelScope(const QueryContext& ctx) : prev_(g_scope_ctx) {
+  // Publishing a no-limit context would make every page read pay a token
+  // load for nothing; the scope only installs contexts with teeth.
+  g_scope_ctx = ctx.HasLimits() ? &ctx : prev_;
+}
+
+CancelScope::~CancelScope() { g_scope_ctx = prev_; }
+
+const QueryContext* CancelScope::Current() { return g_scope_ctx; }
+
+Status CheckScopedCancel() {
+  const QueryContext* ctx = g_scope_ctx;
+  if (ctx == nullptr) return Status::OK();
+  MMDB_RETURN_IF_ERROR(TokenStatus(*ctx));
+  if (ctx->deadline.Expired()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,190 @@
+#ifndef MMDB_CORE_CANCEL_H_
+#define MMDB_CORE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "core/query.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// An absolute point in time a query must finish by, over
+/// `std::chrono::steady_clock`. Default-constructed deadlines are
+/// infinite (never expire), so carrying one everywhere costs nothing on
+/// the unlimited path.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (<= 0 is already expired).
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.finite_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// The earlier of two deadlines (an infinite one never wins).
+  static Deadline Earliest(const Deadline& a, const Deadline& b) {
+    if (!a.finite_) return b;
+    if (!b.finite_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+  bool IsInfinite() const { return !finite_; }
+
+  bool Expired() const { return finite_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry; negative once expired, +infinity when
+  /// infinite.
+  double RemainingSeconds() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+  Clock::time_point time_point() const { return at_; }
+
+ private:
+  bool finite_ = false;
+  Clock::time_point at_{};
+};
+
+/// A cooperative cancellation flag. The caller keeps the token and calls
+/// `Cancel()`; query code polls it at cheap natural boundaries. Safe to
+/// share across threads (one writer, any number of pollers).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Out-of-band record of an interrupted query's partial progress: the
+/// work counters and results accumulated up to the check that tripped.
+/// The error `Status` itself stays typed and message-only; callers that
+/// want the partial picture hang one of these off the `QueryContext`.
+struct QueryInterrupt {
+  /// True once the query was cut short (deadline or cancellation).
+  bool partial = false;
+  /// Why: kDeadlineExceeded or kCancelled.
+  StatusCode reason = StatusCode::kOk;
+  /// Matches found before the interrupt.
+  int64_t results_so_far = 0;
+  /// Work counters up to the interrupt (images examined etc.).
+  QueryStats stats;
+};
+
+/// Per-query execution limits, threaded through every `QueryProcessor`.
+/// A default-constructed context imposes none — that is the facade's
+/// legacy single-argument path, and it must stay result- and
+/// performance-identical to the pre-robustness code.
+struct QueryContext {
+  /// Caller-owned per-query cancel token; may be null.
+  const CancelToken* cancel = nullptr;
+  /// Second token cancelling a whole batch at once; may be null.
+  const CancelToken* batch_cancel = nullptr;
+  /// When the query must give up.
+  Deadline deadline;
+  /// Cooperative checks consult the tokens every time but the clock only
+  /// every `check_stride`-th time (steady_clock::now is the expensive
+  /// part of a check).
+  int check_stride = 64;
+  /// Optional out-slot the processor fills with partial progress when
+  /// the query is interrupted; may be null.
+  QueryInterrupt* interrupt = nullptr;
+
+  /// True iff any limit is set (the enforcement fast-path gate).
+  bool HasLimits() const {
+    return cancel != nullptr || batch_cancel != nullptr ||
+           !deadline.IsInfinite();
+  }
+};
+
+/// The cooperative check itself: one `CancelCheck` per scan (or per scan
+/// chunk — the stride countdown is not thread-safe), `Check()` called at
+/// every natural boundary. Once tripped it stays tripped, so a deep call
+/// chain reports the same typed status at every level.
+class CancelCheck {
+ public:
+  explicit CancelCheck(const QueryContext& ctx)
+      : ctx_(&ctx),
+        enabled_(ctx.HasLimits()),
+        countdown_(ctx.check_stride) {}
+
+  /// OK, or DeadlineExceeded / Cancelled once a limit trips (sticky).
+  Status Check() {
+    if (!enabled_) return Status::OK();
+    return CheckSlow();
+  }
+
+  /// This check when limits are set, null otherwise — for handing to
+  /// optional deep-layer check points (e.g. the per-operation rule-walk
+  /// check) so the unlimited path keeps paying nothing.
+  CancelCheck* enabled_or_null() { return enabled_ ? this : nullptr; }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  Status CheckSlow();
+
+  const QueryContext* ctx_;
+  bool enabled_;
+  bool tripped_ = false;
+  Status trip_status_;
+  int countdown_;
+};
+
+/// True for the two cooperative-interrupt codes.
+inline bool IsInterruptStatus(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kCancelled;
+}
+
+/// Funnel for every processor error path: when `status` is an interrupt
+/// and the context carries an out-slot, records `partial`'s progress
+/// (ids found so far, work counters) into it. Returns `status` unchanged
+/// either way, so non-interrupt errors flow through untouched.
+Status AnnotateInterrupt(const QueryContext& ctx, const QueryResult& partial,
+                         Status status);
+
+/// RAII thread-local publication of the active query's limits, so layers
+/// the context is not threaded through (the buffer pool → disk manager
+/// read path) can still honor per-page deadline/cancellation checks.
+/// Scopes nest (a query within a query restores the outer one).
+class CancelScope {
+ public:
+  explicit CancelScope(const QueryContext& ctx);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// The innermost installed context, or null.
+  static const QueryContext* Current();
+
+ private:
+  const QueryContext* prev_;
+};
+
+/// Checks the thread's installed `CancelScope` context (tokens and
+/// clock, unstrided — callers are per-page, already coarse). OK when no
+/// scope is installed or no limit tripped.
+Status CheckScopedCancel();
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_CANCEL_H_

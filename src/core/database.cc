@@ -402,7 +402,16 @@ Result<Image> MultimediaDatabase::GetImage(ObjectId id) const {
 
 Result<QueryResult> MultimediaDatabase::RunRange(const RangeQuery& query,
                                                  QueryMethod method) const {
+  return RunRange(query, method, QueryContext{});
+}
+
+Result<QueryResult> MultimediaDatabase::RunRange(
+    const RangeQuery& query, QueryMethod method,
+    const QueryContext& ctx) const {
   obs::Span span(QuerySpanFor(method));
+  // Publish the limits thread-locally so the storage read path (which the
+  // context is not threaded through) honors them per page.
+  CancelScope scope(ctx);
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     if (query.bin < 0 || query.bin >= quantizer_.BinCount()) {
       return Status::InvalidArgument("query bin " +
@@ -414,7 +423,7 @@ Result<QueryResult> MultimediaDatabase::RunRange(const RangeQuery& query,
     }
     MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
                           MakeProcessor(method));
-    return processor->RunRange(query);
+    return processor->RunRange(query, ctx);
   }();
   RecordQueryMetrics(method, /*conjunctive=*/false, result);
   return result;
@@ -422,7 +431,14 @@ Result<QueryResult> MultimediaDatabase::RunRange(const RangeQuery& query,
 
 Result<QueryResult> MultimediaDatabase::RunConjunctive(
     const ConjunctiveQuery& query, QueryMethod method) const {
+  return RunConjunctive(query, method, QueryContext{});
+}
+
+Result<QueryResult> MultimediaDatabase::RunConjunctive(
+    const ConjunctiveQuery& query, QueryMethod method,
+    const QueryContext& ctx) const {
   obs::Span span(QuerySpanFor(method));
+  CancelScope scope(ctx);
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     if (query.conjuncts.empty()) {
       return Status::InvalidArgument("conjunctive query has no conjuncts");
@@ -437,7 +453,7 @@ Result<QueryResult> MultimediaDatabase::RunConjunctive(
     }
     MMDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryProcessor> processor,
                           MakeProcessor(method));
-    return processor->RunConjunctive(query);
+    return processor->RunConjunctive(query, ctx);
   }();
   RecordQueryMetrics(method, /*conjunctive=*/true, result);
   return result;
@@ -595,6 +611,13 @@ QuarantineHooks MultimediaDatabase::MakeQuarantineHooks() const {
   QuarantineHooks hooks;
   hooks.contains = [this](ObjectId id) { return IsQuarantined(id); };
   hooks.add = [this](ObjectId id) { QuarantineImage(id); };
+  hooks.record_io_failure = [this](ObjectId id) {
+    if (!breaker_.RecordFailure(id)) return breaker_.IsOpen(id);
+    // The breaker just tripped: quarantine the image so every later query
+    // skips it instead of re-paying the failing reads.
+    QuarantineImage(id);
+    return true;
+  };
   return hooks;
 }
 

@@ -9,7 +9,9 @@
 #include <string_view>
 #include <vector>
 
+#include "core/breaker.h"
 #include "core/bwm.h"
+#include "core/cancel.h"
 #include "core/collection.h"
 #include "core/instantiate.h"
 #include "core/quantizer.h"
@@ -130,11 +132,24 @@ class MultimediaDatabase {
   Result<QueryResult> RunRange(const RangeQuery& query,
                                QueryMethod method) const;
 
+  /// As above, under `ctx`'s limits (deadline, cancel tokens): the
+  /// processor checks cooperatively and returns DeadlineExceeded /
+  /// Cancelled with partial progress in `ctx.interrupt` when one trips.
+  /// The context is also published thread-locally (`CancelScope`) so the
+  /// storage read path honors it per page.
+  Result<QueryResult> RunRange(const RangeQuery& query, QueryMethod method,
+                               const QueryContext& ctx) const;
+
   /// Answers a conjunction of range predicates ("at least 25% blue AND
   /// at most 10% red") with the chosen method; same cross-method
   /// guarantees as `RunRange`.
   Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
                                      QueryMethod method) const;
+
+  /// Conjunctive variant under `ctx`'s limits.
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
+                                     QueryMethod method,
+                                     const QueryContext& ctx) const;
 
   /// Builds a fresh `QueryProcessor` for `method` from the process-wide
   /// method→factory registry (`RunRange` / `RunConjunctive` dispatch
@@ -205,9 +220,14 @@ class MultimediaDatabase {
   /// The quarantined ids, ascending.
   std::vector<ObjectId> QuarantinedImages() const;
 
-  /// Callbacks binding this database's quarantine set, for wiring into
-  /// an `InstantiationQueryProcessor`.
+  /// Callbacks binding this database's quarantine set and per-image I/O
+  /// circuit breaker, for wiring into an `InstantiationQueryProcessor`.
+  /// `record_io_failure` counts a transient read failure against the
+  /// breaker and quarantines the image once it trips.
   QuarantineHooks MakeQuarantineHooks() const;
+
+  /// The per-image I/O circuit breaker behind `MakeQuarantineHooks`.
+  const CircuitBreaker& circuit_breaker() const { return breaker_; }
 
   /// Cross-checks the in-memory state against the object store: every
   /// binary image's raster must exist, decode, and match its cataloged
@@ -239,6 +259,8 @@ class MultimediaDatabase {
   /// their querying thread while others read).
   mutable std::mutex quarantine_mu_;
   mutable std::set<ObjectId> quarantine_;
+  /// Per-image transient-I/O failure counter; trips into `quarantine_`.
+  mutable CircuitBreaker breaker_;
   std::unique_ptr<ObjectStore> store_;
   ColorQuantizer quantizer_;
   RuleEngine rule_engine_;

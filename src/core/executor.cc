@@ -154,6 +154,21 @@ void Executor::Shutdown() {
   }
   work_available_.notify_all();
   for (std::thread& worker : to_join) worker.join();
+  // The workers drain the queue before exiting, but make the
+  // completed-never-dropped guarantee structural: run anything still
+  // queued inline (e.g. a second Shutdown caller racing the first joins
+  // nothing, yet must not strand work either).
+  for (;;) {
+    QueuedTask task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    inline_tasks_.fetch_add(1, std::memory_order_relaxed);
+    task.fn();
+  }
 }
 
 }  // namespace mmdb

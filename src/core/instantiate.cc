@@ -40,6 +40,13 @@ Status InstantiationQueryProcessor::HistogramOrQuarantine(
       *skipped = true;
       return Status::OK();
     }
+    if (exact.status().code() == StatusCode::kIoError &&
+        quarantine_.record_io_failure && quarantine_.record_io_failure(id)) {
+      // The circuit breaker tripped: the owner has quarantined the image,
+      // so this query (and all later ones) skips it instead of failing.
+      *skipped = true;
+      return Status::OK();
+    }
     return exact.status();
   }
   *hist = *std::move(exact);
@@ -47,9 +54,11 @@ Status InstantiationQueryProcessor::HistogramOrQuarantine(
 }
 
 Result<QueryResult> InstantiationQueryProcessor::RunRange(
-    const RangeQuery& query) const {
+    const RangeQuery& query, const QueryContext& ctx) const {
   QueryResult result;
+  CancelCheck check(ctx);
   for (ObjectId id : collection_->binary_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* binary = collection_->FindBinary(id);
     ++result.stats.binary_images_checked;
     if (query.Satisfies(binary->histogram.Fraction(query.bin))) {
@@ -57,11 +66,12 @@ Result<QueryResult> InstantiationQueryProcessor::RunRange(
     }
   }
   for (ObjectId id : collection_->edited_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const EditedImageInfo* edited = collection_->FindEdited(id);
     ColorHistogram hist;
     bool skipped = false;
-    MMDB_RETURN_IF_ERROR(
-        HistogramOrQuarantine(id, *edited, &hist, &skipped));
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(
+        ctx, result, HistogramOrQuarantine(id, *edited, &hist, &skipped)));
     if (skipped) {
       ++result.stats.corrupt_images_skipped;
       continue;
@@ -75,9 +85,11 @@ Result<QueryResult> InstantiationQueryProcessor::RunRange(
 }
 
 Result<QueryResult> InstantiationQueryProcessor::RunConjunctive(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, const QueryContext& ctx) const {
   QueryResult result;
+  CancelCheck check(ctx);
   for (ObjectId id : collection_->binary_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* binary = collection_->FindBinary(id);
     ++result.stats.binary_images_checked;
     if (query.Satisfies([&](BinIndex bin) {
@@ -87,11 +99,12 @@ Result<QueryResult> InstantiationQueryProcessor::RunConjunctive(
     }
   }
   for (ObjectId id : collection_->edited_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const EditedImageInfo* edited = collection_->FindEdited(id);
     ColorHistogram hist;
     bool skipped = false;
-    MMDB_RETURN_IF_ERROR(
-        HistogramOrQuarantine(id, *edited, &hist, &skipped));
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(
+        ctx, result, HistogramOrQuarantine(id, *edited, &hist, &skipped)));
     if (skipped) {
       ++result.stats.corrupt_images_skipped;
       continue;

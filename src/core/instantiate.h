@@ -22,6 +22,11 @@ struct QuarantineHooks {
   std::function<bool(ObjectId)> contains;
   /// Records `id` as corrupt (called when instantiation hits Corruption).
   std::function<void(ObjectId)> add;
+  /// Records one transient I/O failure for `id` against the owner's
+  /// per-image circuit breaker. Returns true when the breaker has opened
+  /// (the image is now quarantined and should be skipped); false keeps
+  /// the failure fatal for this query. May be null (no breaker).
+  std::function<bool(ObjectId)> record_io_failure;
 };
 
 /// The naive baseline the paper argues against: answer queries over
@@ -49,12 +54,18 @@ class InstantiationQueryProcessor : public QueryProcessor {
     quarantine_ = std::move(hooks);
   }
 
-  /// Runs `query`, instantiating every edited image.
-  Result<QueryResult> RunRange(const RangeQuery& query) const override;
+  using QueryProcessor::RunConjunctive;
+  using QueryProcessor::RunRange;
+
+  /// Runs `query`, instantiating every edited image. Checks `ctx`'s
+  /// limits per image (instantiation is the natural coarse boundary; the
+  /// storage read path below adds per-page checks via `CancelScope`).
+  Result<QueryResult> RunRange(const RangeQuery& query,
+                               const QueryContext& ctx) const override;
 
   /// Conjunctive variant (exact).
-  Result<QueryResult> RunConjunctive(
-      const ConjunctiveQuery& query) const override;
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
+                                     const QueryContext& ctx) const override;
 
   /// Materializes one edited image (used by examples and by the facade's
   /// retrieval path).
@@ -65,7 +76,9 @@ class InstantiationQueryProcessor : public QueryProcessor {
 
  private:
   /// Exact histogram of edited image `id`, or `*skipped = true` when the
-  /// image is (or becomes) quarantined for corruption.
+  /// image is (or becomes) quarantined for corruption or repeated I/O
+  /// failure. Interrupt statuses (deadline/cancel) always propagate —
+  /// they must never quarantine an image or trip the breaker.
   Status HistogramOrQuarantine(ObjectId id, const EditedImageInfo& info,
                                ColorHistogram* hist, bool* skipped) const;
 

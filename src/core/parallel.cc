@@ -32,7 +32,8 @@ ParallelRbmQueryProcessor::ParallelRbmQueryProcessor(
     : collection_(collection), engine_(engine), executor_(executor) {}
 
 template <typename BoundFn>
-Status ParallelRbmQueryProcessor::ScanEdited(QueryResult* result,
+Status ParallelRbmQueryProcessor::ScanEdited(const QueryContext& ctx,
+                                             QueryResult* result,
                                              const BoundFn& bound_one) const {
   const std::vector<ObjectId>& edited = collection_->edited_ids();
   const size_t n = edited.size();
@@ -54,7 +55,11 @@ Status ParallelRbmQueryProcessor::ScanEdited(QueryResult* result,
     // Per-chunk resolver: its cycle-detection state is not shareable.
     const TargetBoundsResolver resolver =
         collection_->MakeTargetResolver(*engine_);
+    // Per-chunk check: the stride countdown is not thread-safe either.
+    CancelCheck check(ctx);
     for (size_t i = begin; i < end; ++i) {
+      output.status = check.Check();
+      if (!output.status.ok()) return;
       const EditedImageInfo* info = collection_->FindEdited(edited[i]);
       const BinaryImageInfo* base =
           collection_->FindBinary(info->script.base_id);
@@ -64,27 +69,35 @@ Status ParallelRbmQueryProcessor::ScanEdited(QueryResult* result,
             " references missing base");
         return;
       }
-      output.status = bound_one(resolver, *info, *base, &output.ids,
+      output.status = bound_one(resolver, &check, *info, *base, &output.ids,
                                 &output.stats);
       if (!output.status.ok()) return;
     }
   });
 
+  // Merge every chunk (an interrupted scan still reports all partial
+  // work); hard errors outrank interrupts.
+  Status interrupt_status;
   for (ChunkOutput& output : outputs) {
-    MMDB_RETURN_IF_ERROR(output.status);
     result->ids.insert(result->ids.end(), output.ids.begin(),
                        output.ids.end());
     result->stats += output.stats;
+    if (!output.status.ok()) {
+      if (!IsInterruptStatus(output.status)) return output.status;
+      if (interrupt_status.ok()) interrupt_status = output.status;
+    }
   }
-  return Status::OK();
+  return interrupt_status;
 }
 
 Result<QueryResult> ParallelRbmQueryProcessor::RunRange(
-    const RangeQuery& query) const {
+    const RangeQuery& query, const QueryContext& ctx) const {
   obs::Span scan_span(ScanSpan());
   QueryResult result;
+  CancelCheck check(ctx);
   // Binary images: cheap exact checks, done inline.
   for (ObjectId id : collection_->binary_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* binary = collection_->FindBinary(id);
     ++result.stats.binary_images_checked;
     if (query.Satisfies(binary->histogram.Fraction(query.bin))) {
@@ -92,31 +105,35 @@ Result<QueryResult> ParallelRbmQueryProcessor::RunRange(
     }
   }
 
-  MMDB_RETURN_IF_ERROR(ScanEdited(
-      &result,
-      [&](const TargetBoundsResolver& resolver, const EditedImageInfo& info,
-          const BinaryImageInfo& base, std::vector<ObjectId>* ids,
-          QueryStats* stats) -> Status {
+  Status scan = ScanEdited(
+      ctx, &result,
+      [&](const TargetBoundsResolver& resolver, CancelCheck* chunk_check,
+          const EditedImageInfo& info, const BinaryImageInfo& base,
+          std::vector<ObjectId>* ids, QueryStats* stats) -> Status {
         MMDB_ASSIGN_OR_RETURN(
             FractionBounds bounds,
             ComputeBounds(*engine_, info.script, query.bin,
                           base.histogram.Count(query.bin), base.width,
-                          base.height, resolver));
+                          base.height, resolver,
+                          chunk_check->enabled_or_null()));
         ++stats->edited_images_bounded;
         stats->rules_applied += static_cast<int64_t>(info.script.ops.size());
         if (bounds.Overlaps(query.min_fraction, query.max_fraction)) {
           ids->push_back(info.id);
         }
         return Status::OK();
-      }));
+      });
+  MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, scan));
   return result;
 }
 
 Result<QueryResult> ParallelRbmQueryProcessor::RunConjunctive(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, const QueryContext& ctx) const {
   obs::Span scan_span(ScanSpan());
   QueryResult result;
+  CancelCheck check(ctx);
   for (ObjectId id : collection_->binary_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* binary = collection_->FindBinary(id);
     ++result.stats.binary_images_checked;
     if (query.Satisfies(
@@ -125,18 +142,19 @@ Result<QueryResult> ParallelRbmQueryProcessor::RunConjunctive(
     }
   }
 
-  MMDB_RETURN_IF_ERROR(ScanEdited(
-      &result,
-      [&](const TargetBoundsResolver& resolver, const EditedImageInfo& info,
-          const BinaryImageInfo& base, std::vector<ObjectId>* ids,
-          QueryStats* stats) -> Status {
+  Status scan = ScanEdited(
+      ctx, &result,
+      [&](const TargetBoundsResolver& resolver, CancelCheck* chunk_check,
+          const EditedImageInfo& info, const BinaryImageInfo& base,
+          std::vector<ObjectId>* ids, QueryStats* stats) -> Status {
         bool candidate = true;
         for (const RangeQuery& conjunct : query.conjuncts) {
           MMDB_ASSIGN_OR_RETURN(
               FractionBounds bounds,
               ComputeBounds(*engine_, info.script, conjunct.bin,
                             base.histogram.Count(conjunct.bin), base.width,
-                            base.height, resolver));
+                            base.height, resolver,
+                            chunk_check->enabled_or_null()));
           stats->rules_applied +=
               static_cast<int64_t>(info.script.ops.size());
           if (!bounds.Overlaps(conjunct.min_fraction,
@@ -148,7 +166,8 @@ Result<QueryResult> ParallelRbmQueryProcessor::RunConjunctive(
         ++stats->edited_images_bounded;
         if (candidate) ids->push_back(info.id);
         return Status::OK();
-      }));
+      });
+  MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, scan));
   return result;
 }
 

@@ -41,22 +41,33 @@ class ParallelRbmQueryProcessor : public QueryProcessor {
   ParallelRbmQueryProcessor(const AugmentedCollection* collection,
                             const RuleEngine* engine, Executor* executor);
 
-  /// Runs `query` with the configured parallelism.
-  Result<QueryResult> RunRange(const RangeQuery& query) const override;
+  using QueryProcessor::RunConjunctive;
+  using QueryProcessor::RunRange;
+
+  /// Runs `query` with the configured parallelism. Each chunk checks
+  /// `ctx`'s limits per image (with its own check state — the stride
+  /// countdown is not shareable across threads); an interrupt stops every
+  /// chunk and the merged partial progress is reported via
+  /// `ctx.interrupt`.
+  Result<QueryResult> RunRange(const RangeQuery& query,
+                               const QueryContext& ctx) const override;
 
   /// Conjunctive variant, same chunking and the same deterministic
   /// chunk-order guarantee.
-  Result<QueryResult> RunConjunctive(
-      const ConjunctiveQuery& query) const override;
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
+                                     const QueryContext& ctx) const override;
 
   /// Maximum threads a scan can occupy (pool workers + the caller).
   int threads() const { return executor_->worker_count() + 1; }
 
  private:
   /// Scans all edited images chunk-parallel; `bound_one` evaluates one
-  /// edited image (appending to ids/stats of its chunk).
+  /// edited image (appending to ids/stats of its chunk). Merges every
+  /// chunk's output (so interrupted scans still report partial work),
+  /// returning the first hard error, else the first interrupt status.
   template <typename BoundFn>
-  Status ScanEdited(QueryResult* result, const BoundFn& bound_one) const;
+  Status ScanEdited(const QueryContext& ctx, QueryResult* result,
+                    const BoundFn& bound_one) const;
 
   const AugmentedCollection* collection_;
   const RuleEngine* engine_;

@@ -94,7 +94,19 @@ void RecordQueryMetrics(QueryMethod method, bool conjunctive,
   (conjunctive ? instruments.conjunctive_queries : instruments.range_queries)
       ->Increment();
   if (!result.ok()) {
+    static obs::Counter* const deadline_exceeded =
+        obs::Registry::Default().GetCounter(
+            "mmdb_query_deadline_exceeded_total",
+            "Queries cut short because their deadline expired.");
+    static obs::Counter* const cancelled = obs::Registry::Default().GetCounter(
+        "mmdb_query_cancelled_total",
+        "Queries cut short by a caller's cancel token.");
     instruments.failures->Increment();
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded->Increment();
+    } else if (result.status().code() == StatusCode::kCancelled) {
+      cancelled->Increment();
+    }
     return;
   }
   const QueryStats& stats = result->stats;

@@ -1,6 +1,7 @@
 #ifndef MMDB_CORE_QUERY_PROCESSOR_H_
 #define MMDB_CORE_QUERY_PROCESSOR_H_
 
+#include "core/cancel.h"
 #include "core/query.h"
 #include "util/result.h"
 
@@ -23,16 +24,33 @@ namespace mmdb {
 ///    is NOT shareable across threads (the bounds resolver's
 ///    cycle-detection scratch state is per-instance); build one per
 ///    thread, which is exactly what the facade and `QueryService` do.
+/// Every processor additionally honors the limits in a `QueryContext`
+/// (deadline, cancel tokens) by checking cooperatively at its natural
+/// boundaries — per image scanned, per rule-walk operation, per BWM
+/// cluster — and returns `DeadlineExceeded`/`Cancelled` with partial
+/// progress recorded in `ctx.interrupt` when a limit trips. A
+/// default-constructed context imposes no limits and takes the identical
+/// code path, so the legacy single-argument overloads below stay
+/// result-identical.
 class QueryProcessor {
  public:
   virtual ~QueryProcessor() = default;
 
-  /// Answers one color range query.
-  virtual Result<QueryResult> RunRange(const RangeQuery& query) const = 0;
+  /// Answers one color range query under `ctx`'s limits.
+  virtual Result<QueryResult> RunRange(const RangeQuery& query,
+                                       const QueryContext& ctx) const = 0;
 
-  /// Answers a conjunction of range predicates.
+  /// Answers a conjunction of range predicates under `ctx`'s limits.
   virtual Result<QueryResult> RunConjunctive(
-      const ConjunctiveQuery& query) const = 0;
+      const ConjunctiveQuery& query, const QueryContext& ctx) const = 0;
+
+  /// Legacy unlimited overloads; identical to passing an empty context.
+  Result<QueryResult> RunRange(const RangeQuery& query) const {
+    return RunRange(query, QueryContext{});
+  }
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query) const {
+    return RunConjunctive(query, QueryContext{});
+  }
 };
 
 }  // namespace mmdb

@@ -1,6 +1,7 @@
 #include "core/query_service.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -42,6 +43,9 @@ constexpr QueryMethod kAllMethods[] = {
 QueryService::QueryService(const MultimediaDatabase* db,
                            QueryServiceOptions options)
     : db_(db), executor_(ResolveThreads(options) - 1) {
+  if (options.admission.max_in_flight > 0) {
+    admission_ = std::make_unique<AdmissionController>(options.admission);
+  }
   for (QueryMethod method : kAllMethods) {
     MethodLatency latency;
     latency.local = std::make_unique<obs::Histogram>();
@@ -59,28 +63,60 @@ QueryService::~QueryService() { Shutdown(); }
 void QueryService::Shutdown() { executor_.Shutdown(); }
 
 QueryService::QueryObservation QueryService::RunOne(
-    const QueryRequest& request, Result<QueryResult>* out,
-    uint64_t parent_span_id) const {
+    const QueryRequest& request, const BatchOptions& options,
+    Result<QueryResult>* out, uint64_t parent_span_id) const {
   QueryObservation observation;
   observation.method = request.method;
   observation.conjunctive = request.conjunctive.has_value();
 
   obs::Span span(QuerySpan(), parent_span_id);
   Stopwatch watch;
-  if (request.range.has_value() == request.conjunctive.has_value()) {
-    *out = Status::InvalidArgument(
-        "QueryRequest must hold exactly one of a range or a conjunctive "
-        "query");
-  } else if (request.range.has_value()) {
-    *out = db_->RunRange(*request.range, request.method);
-  } else {
-    *out = db_->RunConjunctive(*request.conjunctive, request.method);
+  const Deadline deadline =
+      Deadline::Earliest(request.deadline, options.deadline);
+  QueryInterrupt interrupt;
+  QueryContext ctx;
+  ctx.cancel = request.cancel;
+  ctx.batch_cancel = options.cancel;
+  ctx.deadline = deadline;
+  ctx.interrupt = &interrupt;
+
+  // The gate is passed per query, deadline-bounded, so an overloaded
+  // service sheds or rejects instead of queueing unboundedly.
+  AdmissionController::Ticket ticket;
+  bool admitted = true;
+  if (admission_ != nullptr) {
+    Result<AdmissionController::Ticket> admit = admission_->Admit(deadline);
+    if (!admit.ok()) {
+      *out = admit.status();
+      admitted = false;
+      observation.rejected = true;
+    } else {
+      ticket = std::move(admit).value();
+    }
+  }
+  if (admitted) {
+    if (request.range.has_value() == request.conjunctive.has_value()) {
+      *out = Status::InvalidArgument(
+          "QueryRequest must hold exactly one of a range or a conjunctive "
+          "query");
+    } else if (request.range.has_value()) {
+      *out = db_->RunRange(*request.range, request.method, ctx);
+    } else {
+      *out = db_->RunConjunctive(*request.conjunctive, request.method, ctx);
+    }
   }
   observation.wall_seconds = watch.ElapsedSeconds();
   observation.ok = out->ok();
   if (out->ok()) {
     observation.results = static_cast<int64_t>((*out)->ids.size());
     observation.stats = (*out)->stats;
+  } else {
+    observation.error_code = out->status().code();
+    if (interrupt.partial) {
+      observation.partial = true;
+      observation.results = interrupt.results_so_far;
+      observation.stats = interrupt.stats;
+    }
   }
   return observation;
 }
@@ -106,6 +142,17 @@ void QueryService::Record(const QueryObservation& observation) {
     counters_.stats += observation.stats;
   } else {
     ++counters_.failed_queries;
+    if (observation.error_code == StatusCode::kDeadlineExceeded) {
+      ++counters_.deadline_exceeded;
+    } else if (observation.error_code == StatusCode::kCancelled) {
+      ++counters_.cancelled_queries;
+    }
+    if (observation.rejected) ++counters_.admission_rejected;
+    if (observation.partial) {
+      ++counters_.partial_queries;
+      // Partial work is real work; keep it visible in the work counters.
+      counters_.stats += observation.stats;
+    }
   }
   counters_.total_query_seconds += observation.wall_seconds;
   counters_.max_query_seconds =
@@ -114,12 +161,17 @@ void QueryService::Record(const QueryObservation& observation) {
 
 std::vector<Result<QueryResult>> QueryService::ExecuteBatch(
     std::span<const QueryRequest> requests) {
+  return ExecuteBatch(requests, BatchOptions{});
+}
+
+std::vector<Result<QueryResult>> QueryService::ExecuteBatch(
+    std::span<const QueryRequest> requests, const BatchOptions& options) {
   std::vector<Result<QueryResult>> results(
       requests.size(), Result<QueryResult>(Status::Internal("not executed")));
   obs::Span batch_span(BatchSpan());
   const uint64_t batch_id = batch_span.id();
   executor_.ParallelFor(requests.size(), [&, batch_id](size_t i) {
-    Record(RunOne(requests[i], &results[i], batch_id));
+    Record(RunOne(requests[i], options, &results[i], batch_id));
   });
   {
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -183,6 +235,13 @@ void QueryService::CounterSnapshot::PrintTo(std::ostream& os) const {
                   TablePrinter::Cell(count)});
   }
   table.AddRow({"failed queries", TablePrinter::Cell(failed_queries)});
+  table.AddRow(
+      {"  deadline exceeded", TablePrinter::Cell(deadline_exceeded)});
+  table.AddRow({"  cancelled", TablePrinter::Cell(cancelled_queries)});
+  table.AddRow(
+      {"  admission rejected", TablePrinter::Cell(admission_rejected)});
+  table.AddRow(
+      {"partial queries (interrupted)", TablePrinter::Cell(partial_queries)});
   table.AddRow({"results returned", TablePrinter::Cell(results_returned)});
   table.AddRow(
       {"binary images checked",

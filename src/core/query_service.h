@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "core/admission.h"
+#include "core/cancel.h"
 #include "core/database.h"
 #include "core/executor.h"
 #include "core/query.h"
@@ -22,6 +24,10 @@ struct QueryServiceOptions {
   /// Threads a batch may occupy (pool workers plus the calling thread).
   /// 0 means `std::thread::hardware_concurrency()`.
   int threads = 0;
+  /// Admission control: with `admission.max_in_flight > 0` every query
+  /// passes the gate before executing, and overload produces fast typed
+  /// ResourceExhausted rejections per the configured policy.
+  AdmissionOptions admission;
 };
 
 /// One query of a batch: a range *or* conjunctive query plus the access
@@ -31,6 +37,11 @@ struct QueryRequest {
   QueryMethod method = QueryMethod::kBwm;
   std::optional<RangeQuery> range;
   std::optional<ConjunctiveQuery> conjunctive;
+  /// Per-query deadline (infinite by default). Combined with the batch
+  /// deadline; the earlier one wins.
+  Deadline deadline;
+  /// Optional caller-owned cancel token; must outlive the batch.
+  const CancelToken* cancel = nullptr;
 
   static QueryRequest Range(RangeQuery query,
                             QueryMethod method = QueryMethod::kBwm) {
@@ -46,6 +57,14 @@ struct QueryRequest {
     request.conjunctive = std::move(query);
     return request;
   }
+};
+
+/// Batch-wide limits for `ExecuteBatch`: one deadline and one cancel
+/// token covering every query of the batch (each combines with the
+/// per-request limits).
+struct BatchOptions {
+  Deadline deadline;
+  const CancelToken* cancel = nullptr;
 };
 
 /// The serving layer over a `MultimediaDatabase`: a persistent worker
@@ -74,6 +93,13 @@ class QueryService {
     double wall_seconds = 0.0;
     int64_t results = 0;
     QueryStats stats;
+    /// The error code when `!ok` (kOk otherwise).
+    StatusCode error_code = StatusCode::kOk;
+    /// Interrupted mid-scan (deadline or cancellation) with partial
+    /// progress recorded in `stats` / `results`.
+    bool partial = false;
+    /// Rejected by the admission gate before executing.
+    bool rejected = false;
   };
 
   /// Distribution summary of one access path's per-query wall time,
@@ -94,6 +120,12 @@ class QueryService {
     int64_t range_queries = 0;
     int64_t conjunctive_queries = 0;
     int64_t failed_queries = 0;
+    /// Failures by lifecycle cause (all also count in `failed_queries`).
+    int64_t deadline_exceeded = 0;
+    int64_t cancelled_queries = 0;
+    int64_t admission_rejected = 0;
+    /// Interrupted queries that reported partial progress.
+    int64_t partial_queries = 0;
     int64_t results_returned = 0;
     /// Work counters summed over every successful query.
     QueryStats stats;
@@ -136,8 +168,19 @@ class QueryService {
   std::vector<Result<QueryResult>> ExecuteBatch(
       std::span<const QueryRequest> requests);
 
+  /// As above under batch-wide limits: `options.deadline` bounds every
+  /// query of the batch and `options.cancel` cancels them all at once.
+  /// Timed-out / cancelled queries return typed statuses
+  /// (DeadlineExceeded / Cancelled); admission-gate rejections return
+  /// ResourceExhausted without executing.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      std::span<const QueryRequest> requests, const BatchOptions& options);
+
   /// Convenience: a one-request batch.
   Result<QueryResult> Execute(const QueryRequest& request);
+
+  /// The admission gate, or null when `admission.max_in_flight == 0`.
+  const AdmissionController* admission() const { return admission_.get(); }
 
   /// Drains in-flight work and joins the workers. Batches submitted
   /// afterwards still complete, on the calling thread. Idempotent.
@@ -166,12 +209,15 @@ class QueryService {
   /// `parent_span_id` links the per-query span (which runs on a pool
   /// worker) to the batch span opened on the submitting thread.
   QueryObservation RunOne(const QueryRequest& request,
+                          const BatchOptions& options,
                           Result<QueryResult>* out,
                           uint64_t parent_span_id) const;
   void Record(const QueryObservation& observation);
 
   const MultimediaDatabase* db_;
   Executor executor_;
+  /// Present iff `options.admission.max_in_flight > 0`.
+  std::unique_ptr<AdmissionController> admission_;
   /// Keyed by the closed QueryMethod enum; built once in the
   /// constructor, so concurrent lookups need no lock.
   std::map<QueryMethod, MethodLatency> method_latency_;

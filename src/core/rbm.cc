@@ -30,11 +30,14 @@ RbmQueryProcessor::RbmQueryProcessor(const AugmentedCollection* collection,
       engine_(engine),
       resolver_(collection->MakeTargetResolver(*engine)) {}
 
-Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
+Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query,
+                                                const QueryContext& ctx) const {
   obs::Span scan_span(ScanSpan());
   QueryResult result;
+  CancelCheck check(ctx);
   // Binary images: the stored histogram answers the query exactly.
   for (ObjectId id : collection_->binary_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* binary = collection_->FindBinary(id);
     ++result.stats.binary_images_checked;
     if (query.Satisfies(binary->histogram.Fraction(query.bin))) {
@@ -43,6 +46,7 @@ Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
   }
   // Edited images: apply the rule for every operation of every script.
   for (ObjectId id : collection_->edited_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(id);
     const BinaryImageInfo* base =
@@ -51,15 +55,15 @@ Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
       return Status::Corruption("edited image " + std::to_string(id) +
                                 " references missing base");
     }
-    MMDB_ASSIGN_OR_RETURN(
-        FractionBounds bounds,
+    Result<FractionBounds> bounds =
         ComputeBounds(*engine_, edited->script, query.bin,
                       base->histogram.Count(query.bin), base->width,
-                      base->height, resolver_));
+                      base->height, resolver_, check.enabled_or_null());
+    if (!bounds.ok()) return AnnotateInterrupt(ctx, result, bounds.status());
     ++result.stats.edited_images_bounded;
     result.stats.rules_applied +=
         static_cast<int64_t>(edited->script.ops.size());
-    if (bounds.Overlaps(query.min_fraction, query.max_fraction)) {
+    if (bounds->Overlaps(query.min_fraction, query.max_fraction)) {
       result.ids.push_back(id);
     }
   }
@@ -67,10 +71,12 @@ Result<QueryResult> RbmQueryProcessor::RunRange(const RangeQuery& query) const {
 }
 
 Result<QueryResult> RbmQueryProcessor::RunConjunctive(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, const QueryContext& ctx) const {
   obs::Span scan_span(ScanSpan());
   QueryResult result;
+  CancelCheck check(ctx);
   for (ObjectId id : collection_->binary_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     const BinaryImageInfo* binary = collection_->FindBinary(id);
     ++result.stats.binary_images_checked;
     if (query.Satisfies([&](BinIndex bin) {
@@ -80,6 +86,7 @@ Result<QueryResult> RbmQueryProcessor::RunConjunctive(
     }
   }
   for (ObjectId id : collection_->edited_ids()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     obs::Span walk_span(RuleWalkSpan());
     const EditedImageInfo* edited = collection_->FindEdited(id);
     const BinaryImageInfo* base =
@@ -90,14 +97,14 @@ Result<QueryResult> RbmQueryProcessor::RunConjunctive(
     }
     bool candidate = true;
     for (const RangeQuery& conjunct : query.conjuncts) {
-      MMDB_ASSIGN_OR_RETURN(
-          FractionBounds bounds,
+      Result<FractionBounds> bounds =
           ComputeBounds(*engine_, edited->script, conjunct.bin,
                         base->histogram.Count(conjunct.bin), base->width,
-                        base->height, resolver_));
+                        base->height, resolver_, check.enabled_or_null());
+      if (!bounds.ok()) return AnnotateInterrupt(ctx, result, bounds.status());
       result.stats.rules_applied +=
           static_cast<int64_t>(edited->script.ops.size());
-      if (!bounds.Overlaps(conjunct.min_fraction, conjunct.max_fraction)) {
+      if (!bounds->Overlaps(conjunct.min_fraction, conjunct.max_fraction)) {
         candidate = false;
         break;
       }

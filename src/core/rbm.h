@@ -24,14 +24,19 @@ class RbmQueryProcessor : public QueryProcessor {
   RbmQueryProcessor(const AugmentedCollection* collection,
                     const RuleEngine* engine);
 
+  using QueryProcessor::RunConjunctive;
+  using QueryProcessor::RunRange;
+
   /// Runs `query` over the whole collection ("w/out data structure").
-  Result<QueryResult> RunRange(const RangeQuery& query) const override;
+  /// Checks `ctx`'s limits per image and per rule-walk operation.
+  Result<QueryResult> RunRange(const RangeQuery& query,
+                               const QueryContext& ctx) const override;
 
   /// Runs a conjunctive query: an edited image stays a candidate only if
   /// its bounds overlap the range of *every* conjunct (one BOUNDS fold
   /// per conjunct). Same no-false-negative guarantee as `RunRange`.
-  Result<QueryResult> RunConjunctive(
-      const ConjunctiveQuery& query) const override;
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
+                                     const QueryContext& ctx) const override;
 
  private:
   const AugmentedCollection* collection_;

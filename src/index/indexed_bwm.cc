@@ -27,9 +27,10 @@ IndexedBwmQueryProcessor::IndexedBwmQueryProcessor(
       resolver_(collection->MakeTargetResolver(*engine)) {}
 
 Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
-    const RangeQuery& query) const {
+    const RangeQuery& query, const QueryContext& ctx) const {
   obs::Span scan_span(ScanSpan());
   QueryResult result;
+  CancelCheck check(ctx);
 
   // One index probe answers the binary side for every cluster at once.
   MMDB_ASSIGN_OR_RETURN(std::vector<ObjectId> matching_binaries,
@@ -40,6 +41,7 @@ Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
       static_cast<int64_t>(matching_binaries.size());
 
   auto bound_and_collect = [&](ObjectId edited_id) -> Status {
+    MMDB_RETURN_IF_ERROR(check.Check());
     const EditedImageInfo* edited = collection_->FindEdited(edited_id);
     if (edited == nullptr) {
       return Status::Corruption("BWM index references missing edited image " +
@@ -55,7 +57,7 @@ Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
         FractionBounds bounds,
         ComputeBounds(*engine_, edited->script, query.bin,
                       base->histogram.Count(query.bin), base->width,
-                      base->height, resolver_));
+                      base->height, resolver_, check.enabled_or_null()));
     ++result.stats.edited_images_bounded;
     result.stats.rules_applied +=
         static_cast<int64_t>(edited->script.ops.size());
@@ -66,6 +68,7 @@ Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
   };
 
   for (const auto& [base_id, edited_ids] : bwm_index_->main_map()) {
+    MMDB_RETURN_IF_ERROR(AnnotateInterrupt(ctx, result, check.Check()));
     if (satisfied.count(base_id)) {
       result.ids.push_back(base_id);
       result.ids.insert(result.ids.end(), edited_ids.begin(),
@@ -74,7 +77,8 @@ Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
           static_cast<int64_t>(edited_ids.size());
     } else {
       for (ObjectId edited_id : edited_ids) {
-        MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+        MMDB_RETURN_IF_ERROR(
+            AnnotateInterrupt(ctx, result, bound_and_collect(edited_id)));
       }
     }
   }
@@ -84,15 +88,16 @@ Result<QueryResult> IndexedBwmQueryProcessor::RunRange(
     if (!bwm_index_->main_map().count(id)) result.ids.push_back(id);
   }
   for (ObjectId edited_id : bwm_index_->Unclassified()) {
-    MMDB_RETURN_IF_ERROR(bound_and_collect(edited_id));
+    MMDB_RETURN_IF_ERROR(
+        AnnotateInterrupt(ctx, result, bound_and_collect(edited_id)));
   }
   return result;
 }
 
 Result<QueryResult> IndexedBwmQueryProcessor::RunConjunctive(
-    const ConjunctiveQuery& query) const {
+    const ConjunctiveQuery& query, const QueryContext& ctx) const {
   BwmQueryProcessor bwm(collection_, bwm_index_, engine_);
-  return bwm.RunConjunctive(query);
+  return bwm.RunConjunctive(query, ctx);
 }
 
 }  // namespace mmdb

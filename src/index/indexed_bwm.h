@@ -27,15 +27,20 @@ class IndexedBwmQueryProcessor : public QueryProcessor {
                            const RuleEngine* engine,
                            const HistogramIndex* histogram_index);
 
-  /// Runs `query` using the index for the binary-image side.
-  Result<QueryResult> RunRange(const RangeQuery& query) const override;
+  using QueryProcessor::RunConjunctive;
+  using QueryProcessor::RunRange;
+
+  /// Runs `query` using the index for the binary-image side. Checks
+  /// `ctx`'s limits per cluster and per bounded image.
+  Result<QueryResult> RunRange(const RangeQuery& query,
+                               const QueryContext& ctx) const override;
 
   /// Conjunctive variant. The R-tree probes one bin per search, so a
   /// conjunction runs the plain BWM Figure 2 logic over the stored
   /// histograms (exactly what the facade used to fall back to); result
   /// sets are identical to `BwmQueryProcessor::RunConjunctive`.
-  Result<QueryResult> RunConjunctive(
-      const ConjunctiveQuery& query) const override;
+  Result<QueryResult> RunConjunctive(const ConjunctiveQuery& query,
+                                     const QueryContext& ctx) const override;
 
  private:
   const AugmentedCollection* collection_;

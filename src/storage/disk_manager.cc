@@ -1,7 +1,12 @@
 #include "storage/disk_manager.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <random>
+#include <thread>
 
+#include "core/cancel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,11 +54,46 @@ obs::Counter* ChecksumFailures() {
   return counter;
 }
 
+obs::Counter* Retries() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_storage_retries_total",
+      "Page read attempts repeated after a transient I/O failure.");
+  return counter;
+}
+
+obs::Counter* ChecksumRereads() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_storage_checksum_rereads_total",
+      "Immediate re-reads issued after a checksum mismatch, before the "
+      "Corruption verdict stands.");
+  return counter;
+}
+
+/// Sleeps the exponential-backoff delay before retry number `retry`
+/// (1-based), jittered so synchronized readers of a struggling device
+/// spread out instead of hammering it in lockstep.
+void SleepBackoff(const DiskManager::ReadRetryPolicy& policy, int retry) {
+  double delay = policy.backoff_seconds;
+  for (int i = 1; i < retry; ++i) delay *= policy.backoff_multiplier;
+  if (policy.jitter_fraction > 0.0) {
+    thread_local std::mt19937_64 rng(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) ^
+        0x6d6d64625f696fULL);
+    std::uniform_real_distribution<double> jitter(
+        1.0 - policy.jitter_fraction, 1.0 + policy.jitter_fraction);
+    delay *= jitter(rng);
+  }
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
 }  // namespace
 
 DiskManager::~DiskManager() { Close().ok(); }
 
-Status DiskManager::Open(const std::string& path, Env* env, bool checksums) {
+Status DiskManager::Open(const std::string& path, Env* env, bool checksums,
+                         ReadRetryPolicy retry) {
   if (file_ != nullptr) {
     return Status::InvalidArgument("disk manager already open: " + path_);
   }
@@ -61,6 +101,7 @@ Status DiskManager::Open(const std::string& path, Env* env, bool checksums) {
   MMDB_ASSIGN_OR_RETURN(file_, env->OpenFile(path));
   path_ = path;
   checksums_ = checksums;
+  retry_ = retry;
   return Status::OK();
 }
 
@@ -103,9 +144,33 @@ Status DiskManager::ReadPageRaw(PageId id, Page* page) const {
 
 Status DiskManager::ReadPage(PageId id, Page* page) const {
   obs::Span span(ReadSpan());
-  MMDB_RETURN_IF_ERROR(ReadPageRaw(id, page));
+  // Per-page cooperative check: a storage-bound scan under a deadline or
+  // cancel token stops here, between pages.
+  MMDB_RETURN_IF_ERROR(CheckScopedCancel());
+  const int attempts = std::max(1, retry_.max_attempts);
+  Status read = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      SleepBackoff(retry_, attempt - 1);
+      Retries()->Increment();
+      MMDB_RETURN_IF_ERROR(CheckScopedCancel());
+    }
+    read = ReadPageRaw(id, page);
+    if (read.ok()) break;
+    // Only IoError is worth retrying; OutOfRange and friends are
+    // deterministic verdicts about the request, not the device.
+    if (read.code() != StatusCode::kIoError) return read;
+  }
+  MMDB_RETURN_IF_ERROR(read);
   PagesRead()->Increment();
   if (checksums_ && !page->ChecksumValid()) {
+    // Distinguish a flipped bit in flight from one on the platter: one
+    // immediate re-read. Persistent damage fails again and stands.
+    if (retry_.checksum_retry) {
+      ChecksumRereads()->Increment();
+      const Status reread = ReadPageRaw(id, page);
+      if (reread.ok() && page->ChecksumValid()) return Status::OK();
+    }
     ChecksumFailures()->Increment();
     return Status::Corruption(
         "page " + std::to_string(id) + " of " + path_ +

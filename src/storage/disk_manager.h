@@ -11,6 +11,22 @@
 
 namespace mmdb {
 
+/// Transient-fault handling for `DiskManager::ReadPage` (namespace-scope
+/// so it is a complete type by the time it appears as a default
+/// argument).
+struct ReadRetryPolicy {
+  /// Total read attempts for an IoError (1 = no retry).
+  int max_attempts = 3;
+  /// Sleep before the first retry; each further retry multiplies it.
+  double backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter applied to each sleep: factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.5;
+  /// Re-read once on checksum mismatch before declaring Corruption.
+  bool checksum_retry = true;
+};
+
 /// Page-granular file I/O for a single database file.
 ///
 /// The disk manager knows nothing about page *layouts*; it reads, writes,
@@ -21,8 +37,18 @@ namespace mmdb {
 /// All raw I/O goes through an `Env` (POSIX by default; tests inject a
 /// `FaultInjectingEnv`). Not thread-safe (the engine is single-threaded,
 /// like the paper's prototype).
+///
+/// `ReadPage` absorbs transient faults per a `ReadRetryPolicy`: an
+/// IoError read retries with exponential backoff and jitter, and a
+/// checksum mismatch triggers one immediate re-read (a flipped bit on
+/// the wire differs from a flipped bit on the platter) before the
+/// Corruption verdict stands. Reads also honor the calling query's
+/// deadline/cancel scope (`CheckScopedCancel`), so a storage-bound scan
+/// stops between pages, not minutes later.
 class DiskManager {
  public:
+  using ReadRetryPolicy = mmdb::ReadRetryPolicy;
+
   DiskManager() = default;
   ~DiskManager();
 
@@ -35,7 +61,7 @@ class DiskManager {
   /// verification; for measurement only (bench_storage), never for data
   /// anyone keeps.
   Status Open(const std::string& path, Env* env = nullptr,
-              bool checksums = true);
+              bool checksums = true, ReadRetryPolicy retry = {});
 
   /// Closes the file. Safe to call when not open.
   Status Close();
@@ -68,6 +94,7 @@ class DiskManager {
   std::unique_ptr<File> file_;
   std::string path_;
   bool checksums_ = true;
+  ReadRetryPolicy retry_;
 };
 
 }  // namespace mmdb

@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace mmdb {
@@ -88,11 +90,23 @@ class PosixFile final : public File {
 
   Status Sync() override {
     MMDB_RETURN_IF_ERROR(CheckOpen("sync"));
+    // Fsyncgate semantics: after a failed fsync the kernel may already
+    // have dropped the dirty pages, so no later fsync can make the data
+    // durable — the failure is sticky and typed DataLoss, never IoError
+    // (which callers are allowed to retry).
+    if (sync_failed_) {
+      return Status::DataLoss("fsync " + path_ +
+                              ": a previous fsync failed; writes since then "
+                              "may be lost");
+    }
     int rc;
     do {
       rc = ::fsync(fd_);
     } while (rc != 0 && errno == EINTR);
-    if (rc != 0) return ErrnoStatus("fsync", path_);
+    if (rc != 0) {
+      sync_failed_ = true;
+      return Status::DataLoss("fsync " + path_ + ": " + std::strerror(errno));
+    }
     return Status::OK();
   }
 
@@ -125,6 +139,8 @@ class PosixFile final : public File {
 
   int fd_;
   std::string path_;
+  /// Set forever once an fsync fails (see Sync).
+  bool sync_failed_ = false;
 };
 
 class PosixEnv final : public Env {
@@ -212,6 +228,17 @@ Status FaultInjectingEnv::Account(IoOp op, const std::string& path,
     *countdown = -1;
     return true;
   };
+
+  // A stalled operation still happens — it just takes a while, which is
+  // what deadline enforcement has to survive.
+  if (op == stall_op_ && take(&stall_countdown_)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(stall_seconds_));
+  }
+  if (op == IoOp::kRead && transient_reads_ > 0) {
+    --transient_reads_;
+    return Status::IoError("injected transient read failure: " + path);
+  }
 
   int64_t* fail = nullptr;
   switch (op) {
@@ -355,6 +382,16 @@ void FaultInjectingEnv::FlipBitOnNthRead(int64_t n, size_t byte_offset,
   flip_bit_ = bit;
 }
 
+void FaultInjectingEnv::TransientReadFailures(int64_t count) {
+  transient_reads_ = count > 0 ? count : 0;
+}
+
+void FaultInjectingEnv::StallNth(IoOp op, int64_t n, double seconds) {
+  stall_op_ = op;
+  stall_countdown_ = n - 1;
+  stall_seconds_ = seconds;
+}
+
 void FaultInjectingEnv::CrashAfterOps(int64_t k) { crash_after_ = k; }
 
 void FaultInjectingEnv::ClearFaults() {
@@ -367,6 +404,8 @@ void FaultInjectingEnv::ClearFaults() {
   fail_truncate_ = -1;
   torn_write_ = -1;
   flip_read_ = -1;
+  transient_reads_ = 0;
+  stall_countdown_ = -1;
 }
 
 }  // namespace mmdb

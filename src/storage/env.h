@@ -118,6 +118,16 @@ class FaultInjectingEnv final : public Env {
   /// bit flipped: bit `bit & 7` of byte `byte_offset % length`. One-shot.
   void FlipBitOnNthRead(int64_t n, size_t byte_offset, int bit);
 
+  /// The next `count` reads each fail with IoError("injected transient
+  /// read failure"), then reads succeed again — the fault class a retry
+  /// loop is supposed to absorb (contrast `FailNth(kRead, n)`, which
+  /// fails one scripted read and stays quiet before it).
+  void TransientReadFailures(int64_t count);
+
+  /// The `n`-th operation of kind `op` from now sleeps `seconds` before
+  /// proceeding normally — a stalling disk, for deadline tests. One-shot.
+  void StallNth(IoOp op, int64_t n, double seconds);
+
   /// After `k` more operations complete, the simulated machine dies: the
   /// on-disk file image freezes, and every subsequent operation on every
   /// file fails with IoError("injected crash") without effect. Reopening
@@ -162,6 +172,11 @@ class FaultInjectingEnv final : public Env {
   int64_t flip_read_ = -1;
   size_t flip_byte_ = 0;
   int flip_bit_ = 0;
+  /// Reads remaining in the current transient-failure burst.
+  int64_t transient_reads_ = 0;
+  IoOp stall_op_ = IoOp::kRead;
+  int64_t stall_countdown_ = -1;
+  double stall_seconds_ = 0.0;
 };
 
 }  // namespace mmdb

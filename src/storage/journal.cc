@@ -135,9 +135,22 @@ Status Journal::Append(PageId page_id, const Page& before_image) {
 }
 
 Status Journal::EnsureSynced() {
+  if (sync_failed_) {
+    return Status::DataLoss("journal " + path_ +
+                            ": an earlier fsync failed; appended records "
+                            "may not be durable");
+  }
   if (synced_) return Status::OK();
   obs::Span span(SyncSpan());
-  MMDB_RETURN_IF_ERROR(file_->Sync());
+  const Status synced = file_->Sync();
+  if (!synced.ok()) {
+    sync_failed_ = true;
+    // Whatever the file reported (IoError from fault injection, DataLoss
+    // from a real fsync), the journal-level meaning is the same: the
+    // write-ahead barrier did not happen and the records may be gone.
+    return Status::DataLoss("journal " + path_ + ": fsync failed: " +
+                            synced.message());
+  }
   synced_ = true;
   Syncs()->Increment();
   return Status::OK();
@@ -148,6 +161,8 @@ Status Journal::Reset() {
   MMDB_RETURN_IF_ERROR(file_->Sync());
   record_count_ = 0;
   synced_ = true;
+  // An empty journal that just synced has nothing left to lose.
+  sync_failed_ = false;
   return Status::OK();
 }
 

@@ -50,6 +50,12 @@ class Journal {
   Status Append(PageId page_id, const Page& before_image);
 
   /// Makes all appended records durable (no-op when already synced).
+  /// A failed fsync is sticky: it returns DataLoss now and on every
+  /// later call, so a commit can never be reported durable after its
+  /// write-ahead barrier failed (the kernel may have dropped the dirty
+  /// pages on the failing fsync — retrying cannot bring them back).
+  /// Only a successful `Reset` (a fresh, empty, synced journal) clears
+  /// the condition.
   Status EnsureSynced();
 
   /// Truncates the journal after a completed transaction.
@@ -77,6 +83,8 @@ class Journal {
   std::unique_ptr<File> file_;
   size_t record_count_ = 0;
   bool synced_ = true;
+  /// Set when an fsync barrier failed; see EnsureSynced.
+  bool sync_failed_ = false;
 };
 
 }  // namespace mmdb

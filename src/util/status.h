@@ -19,6 +19,15 @@ enum class StatusCode {
   kResourceExhausted,
   kNotSupported,
   kInternal,
+  /// The query's deadline expired before it finished; partial progress
+  /// may be reported out of band (see `QueryInterrupt`).
+  kDeadlineExceeded,
+  /// The caller cancelled the operation via a `CancelToken`.
+  kCancelled,
+  /// Durability was lost: an fsync failed, so previously written bytes
+  /// may or may not have reached stable storage. Unlike kIoError this is
+  /// not retryable — the kernel may already have dropped the dirty pages.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -71,6 +80,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

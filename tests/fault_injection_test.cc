@@ -215,7 +215,7 @@ TEST(CorruptionToleranceTest, QueryBatchSkipsQuarantinedImages) {
   DatabaseOptions options;
   options.path = path;
   auto db = MultimediaDatabase::Open(options).value();
-  QueryService service(db.get(), {.threads = 1});
+  QueryService service(db.get(), {.threads = 1, .admission = {}});
 
   RangeQuery query;
   query.bin = db->BinOf(colors::kRed);

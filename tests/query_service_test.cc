@@ -197,7 +197,7 @@ TEST(QueryServiceTest, StatsMatchKnownScanCountsOnFixture) {
 
 TEST(QueryServiceTest, MalformedAndFailingRequestsAreCounted) {
   auto db = MakeDataset(10, 2401);
-  QueryService service(db.get(), QueryServiceOptions{2});
+  QueryService service(db.get(), QueryServiceOptions{2, {}});
 
   QueryRequest empty;  // Neither range nor conjunctive.
   auto result = service.Execute(empty);
@@ -216,7 +216,7 @@ TEST(QueryServiceTest, MalformedAndFailingRequestsAreCounted) {
 
 TEST(QueryServiceTest, PrintableSnapshot) {
   auto db = MakeDataset(12, 2501);
-  QueryService service(db.get(), QueryServiceOptions{2});
+  QueryService service(db.get(), QueryServiceOptions{2, {}});
   RangeQuery query;
   query.bin = 0;
   ASSERT_TRUE(

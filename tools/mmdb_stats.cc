@@ -5,6 +5,10 @@
 //   mmdb_stats                     breakdown table + Prometheus text
 //   mmdb_stats --json              breakdown table + registry JSON
 //   mmdb_stats --traces            ... + the recent-span ring as JSON
+//   mmdb_stats --robustness        ... + the query-lifecycle counter
+//                                  section (deadlines, cancellations,
+//                                  admission, retries, breaker state),
+//                                  after exercising those paths
 //   mmdb_stats --images 600 --queries 24 --repeats 5
 //   mmdb_stats --db photos.mmdb    use (and keep) an explicit page file
 //
@@ -17,6 +21,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/database.h"
@@ -40,7 +45,10 @@ int Usage() {
          "throwaway file under /tmp)\n"
          "  --json        print the registry as JSON instead of "
          "Prometheus text\n"
-         "  --traces      also dump the recent-span ring as JSON\n";
+         "  --traces      also dump the recent-span ring as JSON\n"
+         "  --robustness  exercise the lifecycle paths (deadlines, "
+         "cancellation, shedding) and print the lifecycle counter "
+         "section\n";
   return 2;
 }
 
@@ -62,6 +70,7 @@ int Run(int argc, char** argv) {
   bool keep_db = false;
   bool as_json = false;
   bool dump_traces = false;
+  bool robustness = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_int = [&](int* out) {
@@ -85,6 +94,8 @@ int Run(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--traces") {
       dump_traces = true;
+    } else if (arg == "--robustness") {
+      robustness = true;
     } else {
       return Usage();
     }
@@ -131,7 +142,7 @@ int Run(int argc, char** argv) {
     batch.push_back(QueryRequest::Range(window, QueryMethod::kRbm));
     batch.push_back(QueryRequest::Range(window, QueryMethod::kBwm));
   }
-  QueryService service(db.get(), QueryServiceOptions{threads});
+  QueryService service(db.get(), QueryServiceOptions{threads, {}});
   for (int r = 0; r < repeats; ++r) {
     for (const auto& result : service.ExecuteBatch(batch)) {
       if (!result.ok()) {
@@ -201,7 +212,98 @@ int Run(int argc, char** argv) {
               << "% less scan time than RBM on the identical windows\n";
   }
 
-  // 5. Machine-readable views of the same registry.
+  // 5. Query-lifecycle counters. The normal workload above never trips a
+  //    limit, so first exercise each path — expired deadlines, a
+  //    pre-cancelled token, and an overloaded shed gate — then read the
+  //    registry (the exercised counters also appear in the dumps below).
+  if (robustness) {
+    QueryRequest doomed = QueryRequest::Range(windows[0], QueryMethod::kRbm);
+    doomed.deadline = Deadline::After(0.0);
+    for (int i = 0; i < 4; ++i) (void)service.Execute(doomed);
+    CancelToken stop;
+    stop.Cancel();
+    QueryRequest stopped = QueryRequest::Range(windows[0], QueryMethod::kBwm);
+    stopped.cancel = &stop;
+    for (int i = 0; i < 4; ++i) (void)service.Execute(stopped);
+
+    QueryServiceOptions overload_options;
+    overload_options.threads = 1;
+    overload_options.admission.max_in_flight = 1;
+    overload_options.admission.max_queued = 1;
+    overload_options.admission.policy = AdmissionPolicy::kShedOldest;
+    QueryService overloaded(db.get(), overload_options);
+    // A match-everything instantiate scan is the slowest path, so the
+    // single slot stays busy long enough for the waiter queue to
+    // overflow and shed. The gate also serializes the instantiations,
+    // which keeps the disk store's single-threaded boundary honored.
+    RangeQuery heavy;
+    heavy.bin = 0;
+    heavy.min_fraction = 0.0;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 6; ++c) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < 4; ++i) {
+          (void)overloaded.Execute(
+              QueryRequest::Range(heavy, QueryMethod::kInstantiate));
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+
+    auto counter = [](const std::string& name,
+                      const obs::Labels& labels = {}) {
+      return obs::Registry::Default().GetCounter(name, "", labels)->Value();
+    };
+    auto gauge = [](const std::string& name) {
+      return obs::Registry::Default().GetGauge(name, "")->Value();
+    };
+    TablePrinter lifecycle({"lifecycle counter", "value"});
+    lifecycle.AddRow({"queries deadline-exceeded",
+                      TablePrinter::Cell(
+                          counter("mmdb_query_deadline_exceeded_total"))});
+    lifecycle.AddRow(
+        {"queries cancelled",
+         TablePrinter::Cell(counter("mmdb_query_cancelled_total"))});
+    lifecycle.AddRow(
+        {"admission admitted",
+         TablePrinter::Cell(counter("mmdb_admission_admitted_total"))});
+    for (const char* reason : {"queue-full", "timeout", "shed"}) {
+      lifecycle.AddRow(
+          {std::string("admission rejected (") + reason + ")",
+           TablePrinter::Cell(counter("mmdb_admission_rejected_total",
+                                      {{"reason", reason}}))});
+    }
+    lifecycle.AddRow(
+        {"admission shed evictions",
+         TablePrinter::Cell(counter("mmdb_admission_shed_total"))});
+    lifecycle.AddRow(
+        {"storage read retries",
+         TablePrinter::Cell(counter("mmdb_storage_retries_total"))});
+    lifecycle.AddRow({"storage checksum re-reads",
+                      TablePrinter::Cell(counter(
+                          "mmdb_storage_checksum_rereads_total"))});
+    lifecycle.AddRow(
+        {"breaker trips",
+         TablePrinter::Cell(counter("mmdb_breaker_trips_total"))});
+    lifecycle.AddRow(
+        {"breaker open images",
+         TablePrinter::Cell(static_cast<int64_t>(
+             gauge("mmdb_breaker_open_images")))});
+    lifecycle.AddRow(
+        {"images quarantined (total)",
+         TablePrinter::Cell(counter("mmdb_quarantines_total"))});
+    lifecycle.AddRow(
+        {"images quarantined (now)",
+         TablePrinter::Cell(
+             static_cast<int64_t>(db->QuarantinedImages().size()))});
+    lifecycle.AddRow(
+        {"breaker trip threshold",
+         TablePrinter::Cell(db->circuit_breaker().trip_threshold())});
+    std::cout << "\n=== Query-lifecycle counters (--robustness) ===\n";
+    lifecycle.Print(std::cout);
+  }
+
+  // 6. Machine-readable views of the same registry.
   if (as_json) {
     std::cout << "\n=== Registry JSON snapshot ===\n";
     obs::Registry::Default().WriteJson(std::cout);
