@@ -1,0 +1,282 @@
+// Network serving overhead: loopback RPC latency and throughput of the
+// wire protocol versus embedded QueryService dispatch, swept over
+// concurrent connections (beyond-paper; the serving-shaped counterpart
+// of bench_admission's overload sweep).
+//
+// The harness first proves correctness — every remote answer must be
+// bit-identical (ids and work counters) to the embedded answer for the
+// same request — and only then times three scenarios over the same RBM
+// workload:
+//   embedded - one thread calling QueryService::Execute directly; its
+//              p50 is the baseline the wire overhead is judged against.
+//   remote-N - N clients (N in {1, 8, 64}) each running the workload
+//              over its own TCP loopback connection.
+//
+// The report checks the serving claim: single-connection remote p50
+// stays within 2x of embedded p50 (the framing + syscall tax, not a
+// redundant query execution).
+
+#include <algorithm>
+#include <iostream>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/query_service.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace mmdb {
+namespace {
+
+constexpr int kWarmupPasses = 2;
+constexpr int kEmbeddedRounds = 40;
+constexpr int kQueriesPerConnection = 96;
+const int kConnectionCounts[] = {1, 8, 64};
+
+struct ScenarioResult {
+  std::string name;
+  int connections = 0;  // 0 = embedded.
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;  // Per-call wall times, seconds.
+  int64_t errors = 0;
+};
+
+/// Sorted-vector percentile with nearest-rank rounding (q in [0, 1]).
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index =
+      static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+/// Every remote answer must carry the same ids and the same work
+/// counters as the embedded answer — the wire moves the query, it must
+/// not change it.
+bool VerifyRemoteMatchesEmbedded(QueryService& service, net::Client& client,
+                                 const std::vector<QueryRequest>& requests) {
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto embedded = service.Execute(requests[i]);
+    const auto remote = client.Execute(requests[i]);
+    if (!embedded.ok() || !remote.ok() || embedded->ids != remote->ids ||
+        embedded->stats.binary_images_checked !=
+            remote->stats.binary_images_checked ||
+        embedded->stats.edited_images_bounded !=
+            remote->stats.edited_images_bounded) {
+      std::cerr << "remote answer diverges from embedded for request " << i
+                << "\n";
+      return false;
+    }
+  }
+  std::cout << "correctness: " << requests.size()
+            << " remote answers identical to embedded dispatch\n\n";
+  return true;
+}
+
+ScenarioResult RunEmbedded(QueryService& service,
+                           const std::vector<QueryRequest>& requests) {
+  ScenarioResult result;
+  result.name = "embedded";
+  for (int pass = 0; pass < kWarmupPasses; ++pass) {
+    for (const QueryRequest& request : requests) {
+      if (!service.Execute(request).ok()) ++result.errors;
+    }
+  }
+  Stopwatch wall;
+  for (int round = 0; round < kEmbeddedRounds; ++round) {
+    for (const QueryRequest& request : requests) {
+      Stopwatch call;
+      if (!service.Execute(request).ok()) ++result.errors;
+      result.latencies.push_back(call.ElapsedSeconds());
+    }
+  }
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+ScenarioResult RunRemote(int connections, int port,
+                         const std::vector<QueryRequest>& requests) {
+  ScenarioResult result;
+  result.name = "remote-" + std::to_string(connections);
+  result.connections = connections;
+  std::vector<std::vector<double>> per_thread(connections);
+  std::vector<int64_t> per_thread_errors(connections, 0);
+  std::latch ready(connections + 1);
+  std::latch go(1);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (int t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++per_thread_errors[t];
+        ready.count_down();
+        go.wait();
+        return;
+      }
+      // Per-connection warm-up (handshake, server-side page cache).
+      for (const QueryRequest& request : requests) {
+        if (!client->Execute(request).ok()) ++per_thread_errors[t];
+      }
+      ready.count_down();
+      go.wait();
+      for (int i = 0; i < kQueriesPerConnection; ++i) {
+        // Offset by thread id so concurrent clients spread over the
+        // workload instead of issuing the same query in lockstep.
+        const QueryRequest& request =
+            requests[(static_cast<size_t>(i) + static_cast<size_t>(t)) %
+                     requests.size()];
+        Stopwatch call;
+        if (!client->Execute(request).ok()) ++per_thread_errors[t];
+        per_thread[t].push_back(call.ElapsedSeconds());
+      }
+    });
+  }
+  ready.arrive_and_wait();
+  Stopwatch wall;
+  go.count_down();
+  for (std::thread& thread : threads) thread.join();
+  result.wall_seconds = wall.ElapsedSeconds();
+  for (int t = 0; t < connections; ++t) {
+    result.latencies.insert(result.latencies.end(), per_thread[t].begin(),
+                            per_thread[t].end());
+    result.errors += per_thread_errors[t];
+  }
+  return result;
+}
+
+void AddScenarioJson(bench::JsonWriter* json, const ScenarioResult& s) {
+  const double queries = static_cast<double>(s.latencies.size());
+  json->BeginObject();
+  json->Key("scenario").String(s.name);
+  json->Key("connections").Int(s.connections);
+  json->Key("queries").Int(static_cast<int64_t>(s.latencies.size()));
+  json->Key("errors").Int(s.errors);
+  json->Key("wall_seconds").Number(s.wall_seconds);
+  json->Key("queries_per_second")
+      .Number(s.wall_seconds > 0 ? queries / s.wall_seconds : 0.0);
+  json->Key("p50_seconds").Number(Percentile(s.latencies, 0.5));
+  json->Key("p99_seconds").Number(Percentile(s.latencies, 0.99));
+  json->EndObject();
+}
+
+int Run() {
+  std::cout << "=== Network serving: loopback RPC vs embedded dispatch ===\n"
+            << "hardware threads available: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  datasets::DatasetSpec spec;
+  spec.kind = datasets::DatasetKind::kHelmets;
+  spec.total_images = 600;
+  spec.edited_fraction = 0.8;
+  spec.min_ops = 4;
+  spec.max_ops = 10;
+  spec.seed = 51001;
+  auto db = bench::BuildDatabase(spec, nullptr);
+  if (!db.ok()) {
+    std::cerr << "dataset build failed: " << db.status().ToString() << "\n";
+    return 1;
+  }
+
+  Rng rng(51005);
+  const auto windows = datasets::MakeGroundedRangeWorkload(
+      (*db)->collection(), (*db)->quantizer(), datasets::HelmetPalette(), 12,
+      rng);
+  std::vector<QueryRequest> requests;
+  for (const RangeQuery& window : windows) {
+    requests.push_back(QueryRequest::Range(window, QueryMethod::kRbm));
+  }
+
+  QueryService service(db->get());
+  net::ServerOptions server_options;
+  server_options.connection_threads = 64;
+  net::QueryServer server(db->get(), &service, server_options);
+  if (const Status started = server.Start(); !started.ok()) {
+    std::cerr << "server start failed: " << started.ToString() << "\n";
+    return 1;
+  }
+
+  {
+    auto probe = net::Client::Connect("127.0.0.1", server.port());
+    if (!probe.ok() ||
+        !VerifyRemoteMatchesEmbedded(service, *probe, requests)) {
+      server.Stop();
+      return 1;
+    }
+  }
+
+  std::vector<ScenarioResult> scenarios;
+  scenarios.push_back(RunEmbedded(service, requests));
+  for (int connections : kConnectionCounts) {
+    scenarios.push_back(RunRemote(connections, server.port(), requests));
+  }
+  server.Stop();
+
+  TablePrinter table({"scenario", "connections", "queries", "queries/s",
+                      "p50 ms", "p99 ms", "errors"});
+  for (const ScenarioResult& s : scenarios) {
+    const double queries = static_cast<double>(s.latencies.size());
+    std::ostringstream rps, p50, p99;
+    rps.precision(1);
+    rps << std::fixed << (s.wall_seconds > 0 ? queries / s.wall_seconds : 0);
+    p50.precision(3);
+    p50 << std::fixed << Percentile(s.latencies, 0.5) * 1e3;
+    p99.precision(3);
+    p99 << std::fixed << Percentile(s.latencies, 0.99) * 1e3;
+    table.AddRow({s.name, std::to_string(s.connections),
+                  std::to_string(s.latencies.size()), rps.str(), p50.str(),
+                  p99.str(), std::to_string(s.errors)});
+  }
+  table.Print(std::cout);
+
+  const double embedded_p50 = Percentile(scenarios[0].latencies, 0.5);
+  const double remote1_p50 = Percentile(scenarios[1].latencies, 0.5);
+  const double overhead =
+      embedded_p50 > 0 ? remote1_p50 / embedded_p50 : 0.0;
+  const bool within_budget = overhead <= 2.0;
+  std::cout << "\nsingle-connection overhead: remote p50 "
+            << remote1_p50 * 1e3 << " ms / embedded p50 "
+            << embedded_p50 * 1e3 << " ms = " << overhead << "x ("
+            << (within_budget ? "within" : "OVER") << " the 2x budget)\n";
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("net");
+  json.Key("workload").BeginObject();
+  json.Key("dataset").String("helmet");
+  json.Key("total_images").Int(spec.total_images);
+  json.Key("edited_fraction").Number(spec.edited_fraction);
+  json.Key("method").String("rbm");
+  json.Key("windows").Int(static_cast<int64_t>(windows.size()));
+  json.Key("queries_per_connection").Int(kQueriesPerConnection);
+  json.Key("connection_threads").Int(server_options.connection_threads);
+  json.Key("hardware_threads")
+      .Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.EndObject();
+  json.Key("scenarios").BeginArray();
+  for (const ScenarioResult& s : scenarios) AddScenarioJson(&json, s);
+  json.EndArray();
+  json.Key("claims").BeginObject();
+  json.Key("single_connection_p50_over_embedded_p50").Number(overhead);
+  json.Key("within_2x_budget").Bool(within_budget);
+  json.EndObject();
+  json.Key("registry").Raw(bench::RegistryJson());
+  json.EndObject();
+  if (!bench::WriteBenchReport("net", json.Take())) return 1;
+
+  std::cout << "\nExpected shape: remote-1 pays a fixed framing + syscall "
+               "tax per query; remote-8 and remote-64 trade per-call "
+               "latency for aggregate throughput until the service "
+               "threads saturate.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main() { return mmdb::Run(); }

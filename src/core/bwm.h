@@ -12,6 +12,11 @@
 
 namespace mmdb {
 
+/// Engine-internal header (`mmdb_internal.h`): applications reach this
+/// access path as `QueryMethod::kBwm` through `QueryService` or the
+/// facade; constructing the processor directly is deprecated as public
+/// API.
+///
 /// The paper's proposed data structure (Section 4.1): a Main Component of
 /// `<B_id, E_list>` clusters holding the edited images whose operations
 /// all have bound-widening rules, keyed by referenced base image, plus an

@@ -155,6 +155,12 @@ class MultimediaDatabase {
   /// method→factory registry (`RunRange` / `RunConjunctive` dispatch
   /// through this). The processor borrows this database's in-memory
   /// read state and must not outlive it.
+  ///
+  /// Engine-internal: applications should issue queries through
+  /// `QueryService` (or the `Run*` facade calls), which add deadlines,
+  /// cancellation, admission control, and per-query observability on top
+  /// of the same processors. Holding a processor across mutations is
+  /// undefined; the serving layers never do.
   Result<std::unique_ptr<QueryProcessor>> MakeProcessor(
       QueryMethod method) const;
 

@@ -12,6 +12,11 @@
 
 namespace mmdb {
 
+/// Engine-internal header (`mmdb_internal.h`): applications reach this
+/// access path as `QueryMethod::kInstantiate` through `QueryService` or
+/// the facade; constructing the processor directly is deprecated as
+/// public API.
+///
 /// Callbacks letting a query processor consult and extend its owner's
 /// quarantine set: images whose stored blobs failed checksum
 /// verification. A quarantined image is silently excluded from answers

@@ -12,6 +12,11 @@
 
 namespace mmdb {
 
+/// Engine-internal header (`mmdb_internal.h`): applications reach this
+/// access path as `QueryMethod::kParallelRbm` through `QueryService` or
+/// the facade; constructing the processor directly is deprecated as
+/// public API.
+///
 /// Multi-threaded Rule-Based Method scan (beyond-paper extension).
 ///
 /// The per-edited-image BOUNDS folds are independent, so the scan

@@ -9,6 +9,11 @@
 
 namespace mmdb {
 
+/// Engine-internal header (`mmdb_internal.h`): applications reach this
+/// access path as `QueryMethod::kRbm` through `QueryService` or the
+/// facade; constructing the processor directly is deprecated as public
+/// API.
+///
 /// The Rule-Based Method (paper Section 3): answers a color range query
 /// over an augmented database by checking every binary image's stored
 /// histogram and, for every edited image, folding the Table 1 rules over

@@ -11,6 +11,11 @@
 
 namespace mmdb {
 
+/// Engine-internal header (`mmdb_internal.h`): applications reach this
+/// access path as `QueryMethod::kBwmIndexed` through `QueryService` or
+/// the facade; constructing the processor directly is deprecated as
+/// public API.
+///
 /// BWM combined with the conventional access path the paper's Section 4
 /// opens with: binary-image signatures live in a multidimensional index
 /// (the R-tree), so the per-cluster "does the base satisfy the query?"

@@ -2,50 +2,56 @@
 #define MMDB_MMDB_H_
 
 /// Umbrella header for the mmdb library: a single include that exposes
-/// the public API a downstream application needs. Individual headers
-/// remain includable for finer-grained dependencies.
+/// the stable public API a downstream application needs — the database
+/// facade, the query types, the serving layer (`QueryService`), and the
+/// network client/server speaking the versioned wire protocol.
+/// Individual headers remain includable for finer-grained dependencies.
 ///
 /// ```
 /// #include "mmdb.h"
 /// auto db = mmdb::MultimediaDatabase::Open().value();
+/// mmdb::QueryService service(db.get());
 /// ```
+///
+/// Engine internals (the concrete query processors, the storage engine,
+/// index structures, edit-script transforms) live behind
+/// `mmdb_internal.h`. Queries are issued through `QueryService` (or the
+/// facade's `RunRange` / `RunConjunctive`); constructing a processor
+/// directly is an internal affordance, not API. For one release this
+/// umbrella still pulls the internals in by default — define
+/// `MMDB_PUBLIC_API_ONLY` to get the lean surface now, and include
+/// `mmdb_internal.h` explicitly where you genuinely embed engine
+/// internals.
 
-// Core database facade, query types, and processors.
-#include "core/bounds.h"
-#include "core/bwm.h"
+// Database facade, query types, and the serving layer.
+#include "core/admission.h"
+#include "core/cancel.h"
 #include "core/collection.h"
 #include "core/database.h"
 #include "core/dominant.h"
-#include "core/executor.h"
 #include "core/histogram.h"
-#include "core/instantiate.h"
-#include "core/parallel.h"
 #include "core/quantizer.h"
 #include "core/query.h"
 #include "core/query_parser.h"
-#include "core/query_processor.h"
 #include "core/query_service.h"
-#include "core/rbm.h"
-#include "core/rules.h"
 #include "core/similarity.h"
 
-// Image substrate and the editing-operation model.
-#include "editops/delta.h"
+// Remote access: versioned wire protocol, blocking client, TCP server.
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/status_codes.h"
+
+// Image substrate and the editing-operation model (the public face:
+// building images and edit scripts to store).
 #include "editops/dsl.h"
 #include "editops/edit_ops.h"
-#include "editops/optimize.h"
-#include "editops/serialize.h"
 #include "image/color.h"
 #include "image/draw.h"
 #include "image/editor.h"
 #include "image/geometry.h"
 #include "image/image.h"
 #include "image/ppm_io.h"
-
-// Indexing.
-#include "index/histogram_index.h"
-#include "index/indexed_bwm.h"
-#include "index/rtree.h"
 
 // Feature extraction beyond color.
 #include "features/shape.h"
@@ -57,15 +63,18 @@
 #include "datasets/generators.h"
 #include "datasets/recipes.h"
 
-// Storage engine (only needed when embedding the disk backend directly).
-#include "storage/catalog.h"
-#include "storage/object_store.h"
-
 // Utilities.
 #include "util/random.h"
 #include "util/result.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
+
+// Deprecated passthrough, kept for one release: the engine internals
+// used to be part of this umbrella. New code should include
+// "mmdb_internal.h" itself (or better, stay on the public surface).
+#ifndef MMDB_PUBLIC_API_ONLY
+#include "mmdb_internal.h"
+#endif
 
 #endif  // MMDB_MMDB_H_

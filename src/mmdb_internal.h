@@ -1,0 +1,45 @@
+#ifndef MMDB_MMDB_INTERNAL_H_
+#define MMDB_MMDB_INTERNAL_H_
+
+/// Engine internals behind the public umbrella (`mmdb.h`): the concrete
+/// query processors and their support machinery, the index structures,
+/// the edit-script transforms, and the storage engine.
+///
+/// These headers are stable enough to build the library's own tools,
+/// tests, and benchmarks, but they are not the supported application
+/// surface — types here may change shape between releases without the
+/// wire- and API-compatibility guarantees `mmdb.h` carries. Issue
+/// queries through `QueryService` (local) or `net::Client` (remote)
+/// instead of constructing processors directly; both execute the same
+/// `QueryRequest` and return the same `QueryResult`.
+
+// The five access-path processors (instantiate, RBM, BWM, indexed BWM,
+// parallel RBM) and the machinery they share. Reach them through
+// `QueryService` / `MultimediaDatabase::RunRange` — direct construction
+// is deprecated as public API.
+#include "core/bounds.h"
+#include "core/bwm.h"
+#include "core/executor.h"
+#include "core/instantiate.h"
+#include "core/parallel.h"
+#include "core/query_processor.h"
+#include "core/rbm.h"
+#include "core/rules.h"
+
+// Index structures.
+#include "index/histogram_index.h"
+#include "index/indexed_bwm.h"
+#include "index/rtree.h"
+
+// Edit-script internals: binary serialization, delta encoding, and the
+// script optimizer (the facade applies these on insert).
+#include "editops/delta.h"
+#include "editops/optimize.h"
+#include "editops/serialize.h"
+
+// Storage engine: page file, catalog, and object store (the facade owns
+// these; embed directly only to build storage-level tooling).
+#include "storage/catalog.h"
+#include "storage/object_store.h"
+
+#endif  // MMDB_MMDB_INTERNAL_H_

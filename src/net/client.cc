@@ -1,0 +1,128 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace mmdb::net {
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               ClientOptions options) {
+  Client client;
+  client.options_ = options;
+  MMDB_ASSIGN_OR_RETURN(client.socket_, Socket::ConnectTcp(host, port));
+  return client;
+}
+
+Result<Frame> Client::RoundTrip(std::string_view payload) {
+  if (!connected()) {
+    return Status::IoError("client is not connected");
+  }
+  Status sent = WriteFrame(socket_, payload);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Status read = ReadFrame(socket_, options_.max_frame_bytes,
+                          &response_buffer_, nullptr);
+  if (!read.ok()) {
+    Close();
+    return read;
+  }
+  Result<Frame> frame = ParseFrame(response_buffer_);
+  if (!frame.ok()) Close();  // Peer is not speaking our protocol.
+  return frame;
+}
+
+Result<QueryResult> Client::Execute(const QueryRequest& request) {
+  if (!connected()) {
+    return Status::IoError("client is not connected");
+  }
+  // Bound the local wait by the request deadline plus grace, so a dead
+  // server cannot park the caller past the deadline it asked for.
+  const bool timed = !request.deadline.IsInfinite() &&
+                     options_.deadline_grace_seconds > 0;
+  if (timed) {
+    MMDB_RETURN_IF_ERROR(socket_.SetRecvTimeout(
+        std::max(0.0, request.deadline.RemainingSeconds()) +
+        options_.deadline_grace_seconds));
+  }
+  Status sent = WriteFrame(socket_, EncodeExecuteRequest(request));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  QueryResult result;
+  for (;;) {
+    Status read = ReadFrame(socket_, options_.max_frame_bytes,
+                            &response_buffer_, nullptr);
+    if (!read.ok()) {
+      Close();
+      return read;
+    }
+    Result<Frame> frame = ParseFrame(response_buffer_);
+    if (!frame.ok()) {
+      Close();
+      return frame.status();
+    }
+    switch (frame->type()) {
+      case FrameType::kResultChunk:
+        MMDB_RETURN_IF_ERROR(DecodeResultChunk(*frame, &result.ids));
+        continue;
+      case FrameType::kResultDone: {
+        MMDB_ASSIGN_OR_RETURN(ResultDone done, DecodeResultDone(*frame));
+        if (done.total_ids != result.ids.size()) {
+          Close();
+          return Status::Internal(
+              "result stream truncated: trailer declares " +
+              std::to_string(done.total_ids) + " ids, received " +
+              std::to_string(result.ids.size()));
+        }
+        result.stats = done.stats;
+        if (timed) MMDB_RETURN_IF_ERROR(socket_.SetRecvTimeout(0));
+        return result;
+      }
+      case FrameType::kError: {
+        Status error;
+        MMDB_RETURN_IF_ERROR(DecodeError(*frame, &error));
+        // The RPC failed but the stream is intact: the connection stays
+        // usable for the next request.
+        if (timed) MMDB_RETURN_IF_ERROR(socket_.SetRecvTimeout(0));
+        return error;
+      }
+      default:
+        Close();
+        return Status::Internal("unexpected frame type " +
+                                std::to_string(frame->raw_type) +
+                                " inside a result stream");
+    }
+  }
+}
+
+Result<ServerInfo> Client::GetInfo() {
+  MMDB_ASSIGN_OR_RETURN(Frame frame, RoundTrip(EncodeInfoRequest()));
+  if (frame.type() == FrameType::kError) {
+    Status error;
+    MMDB_RETURN_IF_ERROR(DecodeError(frame, &error));
+    return error;
+  }
+  if (frame.type() != FrameType::kInfoResponse) {
+    Close();
+    return Status::Internal("expected an info response, got frame type " +
+                            std::to_string(frame.raw_type));
+  }
+  return DecodeInfoResponse(frame);
+}
+
+Status Client::Ping() {
+  Result<Frame> frame = RoundTrip(EncodePing());
+  if (!frame.ok()) return frame.status();
+  if (frame->type() != FrameType::kPong) {
+    Close();
+    return Status::Internal("expected a pong, got frame type " +
+                            std::to_string(frame->raw_type));
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb::net

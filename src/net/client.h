@@ -1,0 +1,75 @@
+#ifndef MMDB_NET_CLIENT_H_
+#define MMDB_NET_CLIENT_H_
+
+#include <string>
+
+#include "core/query_service.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/result.h"
+
+namespace mmdb::net {
+
+/// Client-side knobs.
+struct ClientOptions {
+  /// Upper bound on one response frame.
+  size_t max_frame_bytes = 16 * 1024 * 1024;
+  /// Extra wait past the request's own deadline before the client gives
+  /// up on the socket locally (the server is expected to answer
+  /// DeadlineExceeded itself; the grace covers a dead server). 0 waits
+  /// forever.
+  double deadline_grace_seconds = 2.0;
+};
+
+/// A blocking remote handle to a `QueryServer`: `Execute` takes the
+/// *identical* `QueryRequest` struct the embedded `QueryService` takes
+/// and returns the identical `QueryResult` — same ids, same order, same
+/// stats — so call sites switch between linking the database in-process
+/// and querying it over TCP by changing one object.
+///
+/// One `Client` is one connection and is NOT thread-safe (RPCs are
+/// serialized on the socket); open one client per thread. Move-only.
+/// Any transport error closes the connection (`connected()` turns
+/// false); reconnect by constructing a new client.
+class Client {
+ public:
+  Client() = default;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<Client> Connect(const std::string& host, int port,
+                                ClientOptions options = {});
+
+  bool connected() const { return socket_.valid(); }
+
+  /// Runs one query remotely. `request.deadline` travels as remaining
+  /// milliseconds and is enforced by the server exactly like an
+  /// embedded deadline; `request.cancel` is local-only (closing the
+  /// client cancels server-side via the disconnect watcher).
+  Result<QueryResult> Execute(const QueryRequest& request);
+
+  /// The server's quantizer shape and collection size — enough for a
+  /// remote caller to parse color expressions (`ParseQuery`) with the
+  /// same bins the server scans.
+  Result<ServerInfo> GetInfo();
+
+  /// Round-trips a ping frame.
+  Status Ping();
+
+  void Close() { socket_.Close(); }
+
+ private:
+  /// Sends `payload` and reads the next frame into `response_buffer_`;
+  /// drops the connection on transport failure.
+  Result<Frame> RoundTrip(std::string_view payload);
+
+  Socket socket_;
+  ClientOptions options_;
+  std::string response_buffer_;
+};
+
+}  // namespace mmdb::net
+
+#endif  // MMDB_NET_CLIENT_H_

@@ -1,0 +1,166 @@
+#ifndef MMDB_NET_PROTOCOL_H_
+#define MMDB_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/query.h"
+#include "core/query_service.h"
+#include "util/result.h"
+
+namespace mmdb::net {
+
+/// The one versioned request/response schema shared by the embedded and
+/// the remote path. A frame is
+///
+/// ```
+/// u32 magic "MMDB" | u16 version | u16 frame type | tagged fields...
+/// field := u16 tag | u32 length | payload[length]
+/// ```
+///
+/// (the length prefix that precedes a frame on a socket is transport
+/// framing, `socket.h`'s job, not part of the frame itself).
+///
+/// Versioning policy:
+///  * The version field announces the *sender's* protocol revision; it
+///    is informational, not a gate. Decoders accept any version >= 1.
+///  * Compatibility comes from the field tags: a decoder reads the tags
+///    it knows and skips the rest, so a v(N+1) peer may append fields
+///    (or whole frame types) and a vN peer still interoperates.
+///  * Existing tags, frame types, and wire status codes are never
+///    renumbered or re-typed — only appended.
+inline constexpr uint32_t kMagic = 0x42444d4d;  // "MMDB" read little-endian.
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kMinProtocolVersion = 1;
+
+/// Frame header size: magic + version + type.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Frame types. Appended-only, like everything else on the wire.
+enum class FrameType : uint16_t {
+  /// Client -> server: run one `QueryRequest`.
+  kExecuteRequest = 1,
+  /// Server -> client: a slice of a result's object ids (zero or more
+  /// per query, streamed in processor order).
+  kResultChunk = 2,
+  /// Server -> client: end of a successful result stream — the
+  /// `QueryStats` plus the total id count, for stream integrity.
+  kResultDone = 3,
+  /// Server -> client: the query (or the frame before it) failed; the
+  /// payload reconstructs the typed `Status`.
+  kError = 4,
+  /// Client -> server: describe yourself (no fields).
+  kInfoRequest = 5,
+  /// Server -> client: quantizer shape and collection size, so a remote
+  /// client can parse color expressions exactly like an embedded one.
+  kInfoResponse = 6,
+  /// Liveness probe and its echo.
+  kPing = 7,
+  kPong = 8,
+};
+
+/// A decoded frame header plus its raw tagged-field region. Frame-type
+/// specific decoders consume `fields`.
+struct Frame {
+  uint16_t version = kProtocolVersion;
+  /// Raw on-wire type — kept numeric so an unknown (newer) type can be
+  /// answered with a typed error instead of a closed connection.
+  uint16_t raw_type = 0;
+  std::string_view fields;
+
+  FrameType type() const { return static_cast<FrameType>(raw_type); }
+};
+
+/// Field tags, per frame type. Tag numbers are only unique within their
+/// frame type.
+namespace tag {
+// kExecuteRequest
+inline constexpr uint16_t kMethod = 1;      ///< u8 wire method code.
+inline constexpr uint16_t kRange = 2;       ///< u32 bin, f64 min, f64 max.
+inline constexpr uint16_t kConjuncts = 3;   ///< u32 count + count triples.
+inline constexpr uint16_t kDeadlineMs = 4;  ///< u64 relative ms; absent = none.
+// kResultChunk
+inline constexpr uint16_t kIds = 1;  ///< packed u64 object ids.
+// kResultDone
+inline constexpr uint16_t kStats = 1;     ///< packed i64 work counters.
+inline constexpr uint16_t kTotalIds = 2;  ///< u64 ids across all chunks.
+// kError
+inline constexpr uint16_t kCode = 1;     ///< u16 WireStatusCode.
+inline constexpr uint16_t kMessage = 2;  ///< UTF-8 text.
+// kInfoResponse
+inline constexpr uint16_t kDivisions = 1;      ///< i32 quantizer divisions.
+inline constexpr uint16_t kColorSpace = 2;     ///< u8 ColorSpace value.
+inline constexpr uint16_t kImageCount = 3;     ///< u64 stored images.
+inline constexpr uint16_t kServerVersion = 4;  ///< u16 protocol version.
+}  // namespace tag
+
+/// What `kInfoResponse` carries.
+struct ServerInfo {
+  int32_t quantizer_divisions = 0;
+  uint8_t color_space = 0;
+  uint64_t image_count = 0;
+  uint16_t protocol_version = 0;
+};
+
+/// End-of-stream record of a successful query.
+struct ResultDone {
+  QueryStats stats;
+  uint64_t total_ids = 0;
+};
+
+/// Splits a payload into header + field region, validating magic and
+/// minimum version. Newer versions are accepted (see the policy above).
+/// The returned frame borrows `payload`, which must stay alive.
+Result<Frame> ParseFrame(std::string_view payload);
+
+// --- Encoders (full frame payloads, without the transport length) -----
+
+/// Encodes `request` into a kExecuteRequest frame. The request's
+/// `Deadline` (absolute, steady-clock) travels as *remaining*
+/// milliseconds — the only representation that survives machines with
+/// unrelated clocks; an infinite deadline travels as field absence. The
+/// caller-local `cancel` pointer does not cross the wire (the server
+/// installs its own disconnect-driven token). `version` is overridable
+/// for compatibility tests.
+std::string EncodeExecuteRequest(const QueryRequest& request,
+                                 uint16_t version = kProtocolVersion);
+
+std::string EncodeResultChunk(std::span<const ObjectId> ids);
+std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids);
+/// `status` must be non-OK.
+std::string EncodeError(const Status& status);
+std::string EncodeInfoRequest();
+std::string EncodeInfoResponse(const ServerInfo& info);
+std::string EncodePing();
+std::string EncodePong();
+
+// --- Decoders (frame-type specific, over Frame::fields) ---------------
+
+/// Rebuilds the `QueryRequest` a vN-or-newer peer encoded. Unknown tags
+/// are skipped; a request that sets neither (or both) of range /
+/// conjuncts, or an unknown method code, is InvalidArgument.
+Result<QueryRequest> DecodeExecuteRequest(const Frame& frame);
+
+/// Appends the chunk's ids onto `*ids`.
+Status DecodeResultChunk(const Frame& frame, std::vector<ObjectId>* ids);
+
+Result<ResultDone> DecodeResultDone(const Frame& frame);
+
+/// Reconstructs the typed `Status` an error frame carries into
+/// `*carried`. The returned status is about the *decode* itself, which
+/// can fail on a malformed frame.
+Status DecodeError(const Frame& frame, Status* carried);
+
+Result<ServerInfo> DecodeInfoResponse(const Frame& frame);
+
+/// The wire code for a `QueryMethod` and back. Like status codes these
+/// are append-only protocol constants decoupled from the enum.
+uint8_t QueryMethodToWire(QueryMethod method);
+Result<QueryMethod> QueryMethodFromWire(uint8_t wire_method);
+
+}  // namespace mmdb::net
+
+#endif  // MMDB_NET_PROTOCOL_H_

@@ -1,0 +1,295 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <utility>
+
+#include "core/database.h"
+#include "net/protocol.h"
+#include "net/status_codes.h"
+#include "util/stopwatch.h"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0  // Non-Linux fallback; POLLHUP/POLLERR still fire.
+#endif
+
+namespace mmdb::net {
+
+namespace {
+
+/// Ids per kResultChunk frame: big enough to amortize framing, small
+/// enough that a huge result streams instead of ballooning one frame.
+constexpr size_t kIdsPerChunk = 512;
+
+constexpr double kAcceptPollSeconds = 0.1;
+
+}  // namespace
+
+QueryServer::QueryServer(const MultimediaDatabase* db, QueryService* service,
+                         ServerOptions options)
+    : db_(db), service_(service), options_(std::move(options)) {
+  obs::Registry& registry = obs::Registry::Default();
+  connections_total_ = registry.GetCounter(
+      "mmdb_net_connections_total",
+      "TCP connections accepted by the query server.");
+  requests_total_ = registry.GetCounter(
+      "mmdb_net_requests_total", "Query RPCs received over the wire.");
+  bytes_rx_total_ = registry.GetCounter(
+      "mmdb_net_bytes_received_total",
+      "Bytes received by the query server (framing included).");
+  bytes_tx_total_ = registry.GetCounter(
+      "mmdb_net_bytes_sent_total",
+      "Bytes sent by the query server (framing included).");
+  decode_errors_total_ = registry.GetCounter(
+      "mmdb_net_decode_errors_total",
+      "Frames rejected as malformed (bad magic/framing/fields).");
+  rpc_latency_ = registry.GetHistogram(
+      "mmdb_net_rpc_latency_seconds",
+      "Wall time of one query RPC, request decode to response flush.");
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::AlreadyExists("server already started");
+  }
+  MMDB_ASSIGN_OR_RETURN(
+      listener_,
+      ListenSocket::Listen(options_.host, options_.port));
+  port_ = listener_.port();
+  connections_ = std::make_unique<Executor>(
+      std::max(1, options_.connection_threads));
+  stopping_.store(false);
+  watcher_ = std::thread([this] { WatchLoop(); });
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) {
+    // Never started, or another Stop already ran/running: still join if
+    // that Stop was ours re-entered via the destructor.
+    if (acceptor_.joinable()) acceptor_.join();
+    if (watcher_.joinable()) watcher_.join();
+    return;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  {
+    // Wake every connection task blocked in ReadFrame; the tasks
+    // themselves close their fds on the way out.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (connections_ != nullptr) connections_->Shutdown();
+  if (watcher_.joinable()) watcher_.join();
+}
+
+QueryServer::Stats QueryServer::GetStats() const {
+  Stats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.active_connections = active_connections_.load();
+  stats.requests = requests_.load();
+  stats.decode_errors = decode_errors_.load();
+  stats.bytes_received = bytes_received_.load();
+  stats.bytes_sent = bytes_sent_.load();
+  return stats;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    bool timed_out = false;
+    Result<Socket> accepted =
+        listener_.AcceptWithTimeout(kAcceptPollSeconds, &timed_out);
+    if (!accepted.ok()) {
+      if (timed_out) continue;
+      break;  // Listener broken (closed or fatal error): stop accepting.
+    }
+    connections_accepted_.fetch_add(1);
+    connections_total_->Increment();
+    active_connections_.fetch_add(1);
+    auto socket = std::make_shared<Socket>(std::move(accepted).value());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_fds_.insert(socket->fd());
+    }
+    connections_->Submit([this, socket] { ServeConnection(socket); });
+  }
+}
+
+void QueryServer::WatchLoop() {
+  const auto interval = std::chrono::duration<double>(
+      std::max(0.001, options_.watch_interval_seconds));
+  while (!stopping_.load()) {
+    std::vector<Watched> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot = watched_;
+    }
+    if (!snapshot.empty()) {
+      std::vector<pollfd> fds;
+      fds.reserve(snapshot.size());
+      for (const Watched& w : snapshot) {
+        fds.push_back(pollfd{w.fd, POLLRDHUP, 0});
+      }
+      if (::poll(fds.data(), fds.size(), 0) > 0) {
+        for (size_t i = 0; i < fds.size(); ++i) {
+          if (fds[i].revents & (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) {
+            snapshot[i].token->Cancel();
+          }
+        }
+      }
+    }
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+Status QueryServer::SendTracked(Socket& socket, std::string_view payload) {
+  Status status = WriteFrame(socket, payload);
+  if (status.ok()) {
+    const int64_t framed =
+        static_cast<int64_t>(payload.size() + kLengthPrefixBytes);
+    bytes_sent_.fetch_add(framed);
+    bytes_tx_total_->Increment(framed);
+  }
+  return status;
+}
+
+bool QueryServer::SendError(Socket& socket, const Status& status) {
+  return SendTracked(socket, EncodeError(status)).ok();
+}
+
+void QueryServer::ServeConnection(std::shared_ptr<Socket> socket) {
+  std::string payload;
+  while (!stopping_.load()) {
+    bool closed = false;
+    Status read = ReadFrame(*socket, options_.max_frame_bytes, &payload,
+                            &closed);
+    if (!read.ok()) {
+      if (read.code() == StatusCode::kInvalidArgument) {
+        // Oversized/zero length: framing is untrustworthy, answer once
+        // and drop the connection.
+        decode_errors_.fetch_add(1);
+        decode_errors_total_->Increment();
+        SendError(*socket, read);
+      }
+      break;
+    }
+    if (closed) break;
+    const int64_t framed =
+        static_cast<int64_t>(payload.size() + kLengthPrefixBytes);
+    bytes_received_.fetch_add(framed);
+    bytes_rx_total_->Increment(framed);
+    if (!HandleFrame(*socket, payload)) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_fds_.erase(socket->fd());
+  }
+  socket->Close();
+  active_connections_.fetch_sub(1);
+}
+
+bool QueryServer::HandleFrame(Socket& socket, std::string_view payload) {
+  Result<Frame> frame = ParseFrame(payload);
+  if (!frame.ok()) {
+    decode_errors_.fetch_add(1);
+    decode_errors_total_->Increment();
+    SendError(socket, frame.status());
+    return false;  // Bad magic/header: not speaking our protocol.
+  }
+  switch (frame->type()) {
+    case FrameType::kExecuteRequest:
+      return HandleExecute(socket, *frame);
+    case FrameType::kPing:
+      return SendTracked(socket, EncodePong()).ok();
+    case FrameType::kInfoRequest: {
+      ServerInfo info;
+      info.quantizer_divisions = db_->quantizer().divisions();
+      info.color_space = static_cast<uint8_t>(db_->quantizer().space());
+      info.image_count = db_->collection().BinaryCount() +
+                         db_->collection().EditedCount();
+      info.protocol_version = kProtocolVersion;
+      return SendTracked(socket, EncodeInfoResponse(info)).ok();
+    }
+    case FrameType::kResultChunk:
+    case FrameType::kResultDone:
+    case FrameType::kError:
+    case FrameType::kInfoResponse:
+    case FrameType::kPong:
+      // Response types arriving at the server: a confused peer. Typed
+      // error, connection stays up (framing is intact).
+      return SendError(
+          socket, Status::InvalidArgument("response frame sent to server"));
+  }
+  // A frame type minted after this build: report, keep serving — a vN
+  // server must not hang up on a v(N+1) client probing capabilities.
+  return SendError(socket,
+                   Status::NotSupported(
+                       "unknown frame type " +
+                       std::to_string(frame->raw_type) +
+                       " (client newer than this server?)"));
+}
+
+bool QueryServer::HandleExecute(Socket& socket, const Frame& frame) {
+  Stopwatch watch;
+  Result<QueryRequest> decoded = DecodeExecuteRequest(frame);
+  if (!decoded.ok()) {
+    decode_errors_.fetch_add(1);
+    decode_errors_total_->Increment();
+    return SendError(socket, decoded.status());
+  }
+  requests_.fetch_add(1);
+  requests_total_->Increment();
+
+  // Wire the disconnect watcher to this RPC: if the client goes away
+  // mid-query, the poll loop trips this token and the processors'
+  // cooperative checks stop the scan.
+  auto disconnect = std::make_shared<CancelToken>();
+  QueryRequest request = std::move(decoded).value();
+  request.cancel = disconnect.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watched_.push_back(Watched{socket.fd(), disconnect});
+  }
+  Result<QueryResult> result = service_->Execute(request);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watched_.erase(
+        std::remove_if(watched_.begin(), watched_.end(),
+                       [&](const Watched& w) {
+                         return w.token == disconnect;
+                       }),
+        watched_.end());
+  }
+
+  bool alive;
+  if (!result.ok()) {
+    alive = SendError(socket, result.status());
+  } else {
+    alive = true;
+    const std::vector<ObjectId>& ids = result->ids;
+    for (size_t offset = 0; alive && offset < ids.size();
+         offset += kIdsPerChunk) {
+      const size_t count = std::min(kIdsPerChunk, ids.size() - offset);
+      alive = SendTracked(socket,
+                          EncodeResultChunk(std::span<const ObjectId>(
+                              ids.data() + offset, count)))
+                  .ok();
+    }
+    if (alive) {
+      alive = SendTracked(socket,
+                          EncodeResultDone(result->stats, ids.size()))
+                  .ok();
+    }
+  }
+  rpc_latency_->Record(watch.ElapsedSeconds());
+  return alive;
+}
+
+}  // namespace mmdb::net

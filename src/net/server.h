@@ -1,0 +1,145 @@
+#ifndef MMDB_NET_SERVER_H_
+#define MMDB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.h"
+#include "core/executor.h"
+#include "core/query_service.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace mmdb::net {
+
+/// Sizing and placement of a `QueryServer`.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; `QueryServer::port()` reports it.
+  int port = 0;
+  /// Connection tasks run thread-per-connection on a PR-1 `Executor`:
+  /// this many connections are served concurrently, further ones queue
+  /// until a slot frees (an accepted-but-queued connection sees connect
+  /// succeed and its first response stall). Size it at the expected
+  /// concurrent-connection count.
+  int connection_threads = 8;
+  /// Upper bound on a single frame in either direction. Larger inbound
+  /// declarations are rejected and the connection dropped (the framing
+  /// cannot be trusted past an oversized length).
+  size_t max_frame_bytes = 16 * 1024 * 1024;
+  /// Period of the disconnect watcher's poll over in-flight
+  /// connections; bounds how fast a dropped client cancels its query.
+  double watch_interval_seconds = 0.005;
+};
+
+/// The network face of a `QueryService`: accepts length-prefixed
+/// protocol frames (net/protocol.h), decodes each `kExecuteRequest`
+/// into the *same* `QueryRequest` struct the embedded path uses, runs
+/// it through the service — admission control, deadlines (propagated
+/// from the wire `deadline_ms` field), metrics, the works — and streams
+/// the result back as id chunks plus a stats trailer.
+///
+/// Lifecycle extras the wire adds on top of the service:
+///  * client disconnect cancels the in-flight query: a watcher thread
+///    polls serving connections for hangup and trips the per-request
+///    `CancelToken`, so an abandoned query stops burning the pool;
+///  * malformed frames get a typed error back (and count in
+///    `mmdb_net_decode_errors_total`); structurally broken framing
+///    drops the connection.
+///
+/// The database and service must outlive the server. `Stop()` (or
+/// destruction) drains: no new connections, open ones are shut down,
+/// and every connection task joins before Stop returns.
+class QueryServer {
+ public:
+  /// Cumulative per-server counters (the registry mirrors them into
+  /// `mmdb_net_*` metrics process-wide).
+  struct Stats {
+    int64_t connections_accepted = 0;
+    int64_t active_connections = 0;
+    int64_t requests = 0;
+    int64_t decode_errors = 0;
+    int64_t bytes_received = 0;
+    int64_t bytes_sent = 0;
+  };
+
+  QueryServer(const MultimediaDatabase* db, QueryService* service,
+              ServerOptions options = {});
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+  ~QueryServer();
+
+  /// Binds, listens, and starts the acceptor + watcher threads. Fails
+  /// if the address is unavailable or the server already started.
+  Status Start();
+
+  /// Stops accepting, shuts down open connections, joins everything.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (after a successful `Start`).
+  int port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  Stats GetStats() const;
+
+ private:
+  /// One in-flight RPC whose socket the watcher is guarding. The token
+  /// is shared: the watcher's snapshot may outlive the RPC by one poll
+  /// round, so it must keep the token alive to (harmlessly) cancel it.
+  struct Watched {
+    int fd;
+    std::shared_ptr<CancelToken> token;
+  };
+
+  void AcceptLoop();
+  void WatchLoop();
+  void ServeConnection(std::shared_ptr<Socket> socket);
+  /// Handles one decoded frame; false ends the connection.
+  bool HandleFrame(Socket& socket, std::string_view payload);
+  bool HandleExecute(Socket& socket, const struct Frame& frame);
+  /// Best-effort error reply; false if the socket is gone.
+  bool SendError(Socket& socket, const Status& status);
+  Status SendTracked(Socket& socket, std::string_view payload);
+
+  const MultimediaDatabase* db_;
+  QueryService* service_;
+  const ServerOptions options_;
+
+  ListenSocket listener_;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::thread watcher_;
+  std::unique_ptr<Executor> connections_;
+
+  std::mutex mu_;
+  std::set<int> open_fds_;
+  std::vector<Watched> watched_;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> active_connections_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> decode_errors_{0};
+  std::atomic<int64_t> bytes_received_{0};
+  std::atomic<int64_t> bytes_sent_{0};
+
+  obs::Counter* connections_total_;
+  obs::Counter* requests_total_;
+  obs::Counter* bytes_rx_total_;
+  obs::Counter* bytes_tx_total_;
+  obs::Counter* decode_errors_total_;
+  obs::Histogram* rpc_latency_;
+};
+
+}  // namespace mmdb::net
+
+#endif  // MMDB_NET_SERVER_H_

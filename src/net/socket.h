@@ -1,0 +1,103 @@
+#ifndef MMDB_NET_SOCKET_H_
+#define MMDB_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace mmdb::net {
+
+/// A connected TCP stream (RAII over the fd). Blocking I/O with
+/// exact-count semantics: `SendAll` / `RecvAll` loop over short
+/// transfers and EINTR the same way the storage `Env` does, so callers
+/// reason in whole messages, never partial ones. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  /// Connects to `host:port` (numeric or resolvable host).
+  static Result<Socket> ConnectTcp(const std::string& host, int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes exactly `n` bytes.
+  Status SendAll(const void* data, size_t n);
+
+  /// Reads exactly `n` bytes. A clean EOF *before the first byte* sets
+  /// `*clean_close = true` and returns OK with nothing read (pass null
+  /// to make that an IoError instead); EOF mid-message is always an
+  /// IoError. A receive timeout (see `SetRecvTimeout`) surfaces as
+  /// DeadlineExceeded.
+  Status RecvAll(void* data, size_t n, bool* clean_close = nullptr);
+
+  /// Bounds every subsequent blocking receive (SO_RCVTIMEO); 0 restores
+  /// "wait forever".
+  Status SetRecvTimeout(double seconds);
+
+  /// Half-close both directions, waking any blocked peer loop; the fd
+  /// stays open until destruction/Close.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket. `port = 0` binds an ephemeral port; `port()`
+/// reports the actual one.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ~ListenSocket() { Close(); }
+
+  static Result<ListenSocket> Listen(const std::string& host, int port,
+                                     int backlog = 128);
+
+  /// Waits up to `timeout_seconds` for a connection. On timeout returns
+  /// OK-shaped failure via `*timed_out = true` and an invalid Socket
+  /// slot — the accept loop polls this so shutdown never needs to race
+  /// a blocking accept(2).
+  Result<Socket> AcceptWithTimeout(double timeout_seconds, bool* timed_out);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Transport framing: each protocol frame travels as a u32 LE payload
+/// length followed by the payload bytes.
+inline constexpr size_t kLengthPrefixBytes = 4;
+
+/// Writes one frame.
+Status WriteFrame(Socket& socket, std::string_view payload);
+
+/// Reads one frame into `*payload`. A declared length of zero or above
+/// `max_frame_bytes` is rejected as InvalidArgument without reading the
+/// body (the caller should drop the connection: framing is unreliable
+/// past this point). Clean EOF between frames sets `*closed`.
+Status ReadFrame(Socket& socket, size_t max_frame_bytes,
+                 std::string* payload, bool* closed);
+
+}  // namespace mmdb::net
+
+#endif  // MMDB_NET_SOCKET_H_

@@ -1,0 +1,85 @@
+#include "net/status_codes.h"
+
+#include <utility>
+
+namespace mmdb::net {
+
+WireStatusCode ToWireCode(StatusCode code) {
+  // No default: a new StatusCode must be added here (and to
+  // FromWireCode) or the build fails under -Wswitch -Werror.
+  switch (code) {
+    case StatusCode::kOk:
+      return WireStatusCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireStatusCode::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireStatusCode::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return WireStatusCode::kAlreadyExists;
+    case StatusCode::kOutOfRange:
+      return WireStatusCode::kOutOfRange;
+    case StatusCode::kCorruption:
+      return WireStatusCode::kCorruption;
+    case StatusCode::kIoError:
+      return WireStatusCode::kIoError;
+    case StatusCode::kResourceExhausted:
+      return WireStatusCode::kResourceExhausted;
+    case StatusCode::kNotSupported:
+      return WireStatusCode::kNotSupported;
+    case StatusCode::kInternal:
+      return WireStatusCode::kInternal;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatusCode::kDeadlineExceeded;
+    case StatusCode::kCancelled:
+      return WireStatusCode::kCancelled;
+    case StatusCode::kDataLoss:
+      return WireStatusCode::kDataLoss;
+  }
+  return WireStatusCode::kUnknown;  // Unreachable for valid enum values.
+}
+
+StatusCode FromWireCode(uint16_t wire_code) {
+  switch (static_cast<WireStatusCode>(wire_code)) {
+    case WireStatusCode::kOk:
+      return StatusCode::kOk;
+    case WireStatusCode::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case WireStatusCode::kNotFound:
+      return StatusCode::kNotFound;
+    case WireStatusCode::kAlreadyExists:
+      return StatusCode::kAlreadyExists;
+    case WireStatusCode::kOutOfRange:
+      return StatusCode::kOutOfRange;
+    case WireStatusCode::kCorruption:
+      return StatusCode::kCorruption;
+    case WireStatusCode::kIoError:
+      return StatusCode::kIoError;
+    case WireStatusCode::kResourceExhausted:
+      return StatusCode::kResourceExhausted;
+    case WireStatusCode::kNotSupported:
+      return StatusCode::kNotSupported;
+    case WireStatusCode::kInternal:
+      return StatusCode::kInternal;
+    case WireStatusCode::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case WireStatusCode::kCancelled:
+      return StatusCode::kCancelled;
+    case WireStatusCode::kDataLoss:
+      return StatusCode::kDataLoss;
+    case WireStatusCode::kUnknown:
+      return StatusCode::kInternal;
+  }
+  // A genuinely unknown numeric value from a newer peer.
+  return StatusCode::kInternal;
+}
+
+Status StatusFromWire(uint16_t wire_code, std::string message) {
+  StatusCode code = FromWireCode(wire_code);
+  if (code == StatusCode::kOk) {
+    // An error frame carrying kOk is itself malformed.
+    return Status::Internal("error frame carried an OK status code");
+  }
+  return Status(code, std::move(message));
+}
+
+}  // namespace mmdb::net

@@ -1,0 +1,51 @@
+#ifndef MMDB_NET_STATUS_CODES_H_
+#define MMDB_NET_STATUS_CODES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mmdb::net {
+
+/// The wire representation of a `StatusCode`. Values are part of the
+/// protocol and MUST never be renumbered — only appended. They are
+/// deliberately decoupled from the in-memory enum so the library can
+/// reorder or extend `StatusCode` without breaking old peers.
+enum class WireStatusCode : uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kCorruption = 5,
+  kIoError = 6,
+  kResourceExhausted = 7,
+  kNotSupported = 8,
+  kInternal = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
+  kDataLoss = 12,
+  /// A peer sent a code this build does not know (it is newer). Never
+  /// produced by `ToWireCode`.
+  kUnknown = 0xffff,
+};
+
+/// Maps an in-memory status code onto the wire. The switch is exhaustive
+/// with no default case, so adding a `StatusCode` without extending this
+/// table fails the build (-Wswitch -Werror) instead of silently mapping
+/// to `kUnknown`.
+WireStatusCode ToWireCode(StatusCode code);
+
+/// Maps a wire code back to the in-memory enum. Codes from a newer peer
+/// that this build does not know decode as `StatusCode::kInternal` (the
+/// message still carries the peer's text).
+StatusCode FromWireCode(uint16_t wire_code);
+
+/// Reconstructs a `Status` from its wire form. `wire_code` must be
+/// non-OK (an OK wire status has no error frame to travel in).
+Status StatusFromWire(uint16_t wire_code, std::string message);
+
+}  // namespace mmdb::net
+
+#endif  // MMDB_NET_STATUS_CODES_H_

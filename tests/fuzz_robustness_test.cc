@@ -139,7 +139,10 @@ class StorageFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(StorageFuzz, BitFlippedPageFileReopensOrReportsCorruption) {
   Rng rng(GetParam() + 300);
-  const std::string path = ::testing::TempDir() + "/mmdb_fuzz_pages.db";
+  // Seed-suffixed: the parametrized instances run as parallel ctest
+  // processes and must not share a file.
+  const std::string path = ::testing::TempDir() + "/mmdb_fuzz_pages." +
+                           std::to_string(GetParam()) + ".db";
   std::remove(path.c_str());
   std::remove((path + ".journal").c_str());
   {
@@ -171,7 +174,9 @@ TEST_P(StorageFuzz, BitFlippedPageFileReopensOrReportsCorruption) {
 
 TEST_P(StorageFuzz, BitFlippedJournalRecoversOrReportsCorruption) {
   Rng rng(GetParam() + 400);
-  const std::string path = ::testing::TempDir() + "/mmdb_fuzz_journal.db";
+  // Seed-suffixed for the same parallel-ctest reason as above.
+  const std::string path = ::testing::TempDir() + "/mmdb_fuzz_journal." +
+                           std::to_string(GetParam()) + ".db";
   const std::string journal_path = path + ".journal";
   std::remove(path.c_str());
   std::remove(journal_path.c_str());

@@ -12,8 +12,12 @@
 namespace mmdb {
 namespace {
 
+/// Suffixes the running test's name so fixture instances stay disjoint
+/// when ctest runs each discovered test as its own parallel process.
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  const auto* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "/" + name + "." + info->name();
 }
 
 class JournalTest : public ::testing::Test {

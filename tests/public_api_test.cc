@@ -1,0 +1,33 @@
+// Compile-time check of the umbrella split: with MMDB_PUBLIC_API_ONLY
+// the public surface (`mmdb.h` without the deprecated internals
+// passthrough) must be self-contained — and rich enough to open a
+// database, run a service query, and speak the wire protocol.
+#define MMDB_PUBLIC_API_ONLY
+#include "mmdb.h"
+
+#include "gtest/gtest.h"
+
+namespace mmdb {
+namespace {
+
+TEST(PublicApiTest, LeanSurfaceCoversTheQueryLifecycle) {
+  auto db = MultimediaDatabase::Open().value();
+  QueryService service(db.get());
+  const Result<ConjunctiveQuery> parsed =
+      ParseQuery("color('#0000ff') >= 0.0", db->quantizer());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Result<QueryResult> result =
+      service.Execute(QueryRequest::Conjunctive(*parsed));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ids.empty());  // Empty database, empty answer.
+
+  // The wire schema is public API too: encode/decode without internals.
+  const std::string payload =
+      net::EncodeExecuteRequest(QueryRequest::Conjunctive(*parsed));
+  const Result<net::Frame> frame = net::ParseFrame(payload);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(net::DecodeExecuteRequest(*frame).ok());
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,170 @@
+// mmdb_serve — the network query server. Opens (or generates) a
+// database, wraps it in a QueryService, and serves the versioned wire
+// protocol (docs/NETWORK.md) over TCP until SIGINT/SIGTERM:
+//
+//   mmdb_serve                         synthetic helmet dataset on :7117
+//   mmdb_serve --port 9000 --host 0.0.0.0
+//   mmdb_serve --db photos.mmdb        serve an existing page file
+//   mmdb_serve --dataset flag --images 800 --seed 7
+//   mmdb_serve --connections 64 --query-threads 8
+//   mmdb_serve --max-in-flight 16 --admission shed-oldest
+//
+// Query it with mmdb_query (same protocol, any mmdb::Client works).
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/database.h"
+#include "core/query_service.h"
+#include "datasets/augment.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace mmdb {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::cerr
+      << "usage: mmdb_serve [options]\n"
+         "  --port N            TCP port (default 7117; 0 = ephemeral)\n"
+         "  --host ADDR         bind address (default 127.0.0.1)\n"
+         "  --db PATH           serve an existing/new page file instead\n"
+         "                      of a synthetic dataset\n"
+         "  --dataset KIND      flag | helmet | road-sign (default "
+         "helmet)\n"
+         "  --images N          synthetic dataset size (default 400)\n"
+         "  --seed N            dataset seed (default 2006)\n"
+         "  --connections N     concurrent connections served (default "
+         "8)\n"
+         "  --query-threads N   QueryService pool threads (default 4)\n"
+         "  --max-in-flight N   admission gate size (default 0 = off)\n"
+         "  --admission POLICY  block | shed-oldest | reject-new\n";
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  int port = 7117;
+  std::string host = "127.0.0.1";
+  std::string db_path;
+  std::string dataset = "helmet";
+  int images = 400;
+  uint64_t seed = 2006;
+  int connections = 8;
+  int query_threads = 4;
+  AdmissionOptions admission;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--port" && (value = next())) {
+      port = std::atoi(value);
+    } else if (arg == "--host" && (value = next())) {
+      host = value;
+    } else if (arg == "--db" && (value = next())) {
+      db_path = value;
+    } else if (arg == "--dataset" && (value = next())) {
+      dataset = value;
+    } else if (arg == "--images" && (value = next())) {
+      images = std::atoi(value);
+    } else if (arg == "--seed" && (value = next())) {
+      seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--connections" && (value = next())) {
+      connections = std::atoi(value);
+    } else if (arg == "--query-threads" && (value = next())) {
+      query_threads = std::atoi(value);
+    } else if (arg == "--max-in-flight" && (value = next())) {
+      admission.max_in_flight = std::atoi(value);
+    } else if (arg == "--admission" && (value = next())) {
+      const std::string policy = value;
+      if (policy == "block") {
+        admission.policy = AdmissionPolicy::kBlock;
+      } else if (policy == "shed-oldest") {
+        admission.policy = AdmissionPolicy::kShedOldest;
+      } else if (policy == "reject-new") {
+        admission.policy = AdmissionPolicy::kRejectNew;
+      } else {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+
+  DatabaseOptions db_options;
+  db_options.path = db_path;
+  Result<std::unique_ptr<MultimediaDatabase>> db =
+      MultimediaDatabase::Open(db_options);
+  if (!db.ok()) {
+    std::cerr << "mmdb_serve: open failed: " << db.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (db_path.empty()) {
+    datasets::DatasetSpec spec;
+    spec.kind = dataset == "flag"        ? datasets::DatasetKind::kFlags
+                : dataset == "road-sign" ? datasets::DatasetKind::kRoadSigns
+                                         : datasets::DatasetKind::kHelmets;
+    spec.total_images = images;
+    spec.seed = seed;
+    Result<datasets::DatasetStats> built =
+        datasets::BuildAugmentedDatabase(db->get(), spec);
+    if (!built.ok()) {
+      std::cerr << "mmdb_serve: dataset build failed: "
+                << built.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "mmdb_serve: built " << dataset << " dataset ("
+              << built->binary_ids.size() << " binary, "
+              << built->edited_ids.size() << " edited)\n";
+  }
+
+  QueryServiceOptions service_options;
+  service_options.threads = query_threads;
+  service_options.admission = admission;
+  QueryService service(db->get(), service_options);
+
+  net::ServerOptions server_options;
+  server_options.host = host;
+  server_options.port = port;
+  server_options.connection_threads = connections;
+  net::QueryServer server(db->get(), &service, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "mmdb_serve: " << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "mmdb_serve: listening on " << host << ":" << server.port()
+            << " (protocol v" << net::kProtocolVersion << ", "
+            << connections << " connection slots)\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::cout << "mmdb_serve: shutting down\n";
+  server.Stop();
+  const net::QueryServer::Stats stats = server.GetStats();
+  std::cout << "mmdb_serve: served " << stats.requests << " requests over "
+            << stats.connections_accepted << " connections ("
+            << stats.bytes_received << " B in, " << stats.bytes_sent
+            << " B out, " << stats.decode_errors << " decode errors)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) { return mmdb::Run(argc, argv); }
