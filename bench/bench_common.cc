@@ -28,6 +28,29 @@ void FillPercentiles(std::vector<double>* samples, WorkloadTiming* timing) {
   timing->max_query_seconds = samples->back();
 }
 
+/// JSON string-escapes `text` into `out` (quotes, backslashes, and
+/// control characters — plan renderings embed newlines).
+void EscapeJson(std::ostream& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '\\': out << "\\\\"; break;
+      case '"': out << "\\\""; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
 Result<WorkloadTiming> TimeWorkload(const MultimediaDatabase& db,
@@ -268,10 +291,7 @@ JsonWriter& JsonWriter::Key(std::string_view name) {
   if (needs_comma_.back()) out_ << ',';
   needs_comma_.back() = true;
   out_ << '"';
-  for (char c : name) {
-    if (c == '\\' || c == '"') out_ << '\\';
-    out_ << c;
-  }
+  EscapeJson(out_, name);
   out_ << "\":";
   pending_key_ = true;
   return *this;
@@ -280,10 +300,7 @@ JsonWriter& JsonWriter::Key(std::string_view name) {
 JsonWriter& JsonWriter::String(std::string_view value) {
   ValuePrefix();
   out_ << '"';
-  for (char c : value) {
-    if (c == '\\' || c == '"') out_ << '\\';
-    out_ << c;
-  }
+  EscapeJson(out_, value);
   out_ << '"';
   return *this;
 }

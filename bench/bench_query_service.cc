@@ -27,10 +27,10 @@ const QueryMethod kAllMethods[] = {
 
 Result<QueryResult> RunSerial(const MultimediaDatabase& db,
                               const QueryRequest& request) {
-  if (request.range.has_value()) {
-    return db.RunRange(*request.range, request.method);
+  if (const RangeQuery* range = request.range()) {
+    return db.RunRange(*range, request.method);
   }
-  return db.RunConjunctive(*request.conjunctive, request.method);
+  return db.RunConjunctive(*request.conjunctive(), request.method);
 }
 
 /// ExecuteBatch vs serial dispatch over every method; returns false (and

@@ -1,7 +1,8 @@
 // Query service: the serving layer over the augmented database. Builds a
-// flag collection, then answers a whole batch of range and conjunctive
-// queries concurrently on the service's persistent worker pool — with
-// the per-query answers identical (including order) to serial facade
+// flag collection, then answers a whole batch of range, conjunctive
+// (hard-wired and cost-planned), and top-k similarity queries
+// concurrently on the service's persistent worker pool — with the
+// per-query answers identical (including order) to serial facade
 // dispatch — and prints the service's counter snapshot.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
@@ -53,6 +54,17 @@ int main() {
   conjunctive.conjuncts.push_back(windows[1]);
   batch.push_back(mmdb::QueryRequest::Conjunctive(
       conjunctive, mmdb::QueryMethod::kBwmIndexed));
+  // kPlanned re-orders the conjuncts most-selective-first and picks the
+  // driver's access method from the cost model (docs/QUERYING.md §2).
+  batch.push_back(mmdb::QueryRequest::Conjunctive(
+      conjunctive, mmdb::QueryMethod::kPlanned));
+  // Top-k nearest-histogram search rides the same batch: exact distances
+  // for conventional images, provable [lo, hi] intervals for edited ones.
+  mmdb::SimilarityQuery nearest;
+  nearest.histogram = mmdb::ColorHistogram(db->quantizer().BinCount());
+  nearest.histogram.Add(db->BinOf(mmdb::Rgb(0, 0, 255)), 1);
+  nearest.k = 5;
+  batch.push_back(mmdb::QueryRequest::Similarity(nearest));
 
   // 3. Execute the whole batch across a 4-thread service.
   mmdb::QueryService service(db.get(), mmdb::QueryServiceOptions{4, {}});
@@ -66,7 +78,12 @@ int main() {
   }
   std::cout << "executed " << results.size() << " queries on "
             << service.threads() << " threads; first answer has "
-            << results.front()->ids.size() << " matches\n\n";
+            << results.front()->ids.size() << " matches\n";
+  const auto& knn = *results.back();
+  std::cout << "nearest-to-blue candidates (k=5, no false negatives): "
+            << knn.matches.size() << "; closest id " << knn.matches[0].id
+            << " at d=[" << knn.matches[0].distance_lo << ", "
+            << knn.matches[0].distance_hi << "]\n\n";
 
   // 4. Per-query work rolls up into the service counters.
   service.Snapshot().PrintTo(std::cout);

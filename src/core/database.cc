@@ -8,7 +8,9 @@
 
 #include "core/executor.h"
 #include "core/parallel.h"
+#include "core/plan.h"
 #include "core/query_metrics.h"
+#include "core/similarity.h"
 #include "editops/serialize.h"
 #include "index/indexed_bwm.h"
 #include "image/ppm_io.h"
@@ -29,6 +31,8 @@ std::string_view QueryMethodName(QueryMethod method) {
       return "bwm-indexed";
     case QueryMethod::kParallelRbm:
       return "parallel-rbm";
+    case QueryMethod::kPlanned:
+      return "planned";
   }
   return "unknown";
 }
@@ -73,6 +77,10 @@ struct ProcessorRegistry {
         return std::make_unique<ParallelRbmQueryProcessor>(
             &db.collection(), &db.rule_engine(), db.shared_executor());
       };
+      r->factories[QueryMethod::kPlanned] =
+          [](const MultimediaDatabase& db) -> std::unique_ptr<QueryProcessor> {
+        return std::make_unique<PlannedQueryProcessor>(&db);
+      };
       return r;
     }();
     return *registry;
@@ -86,7 +94,8 @@ obs::SpanCategory* QuerySpanFor(QueryMethod method) {
     auto* out = new std::map<QueryMethod, obs::SpanCategory*>();
     for (QueryMethod m :
          {QueryMethod::kInstantiate, QueryMethod::kRbm, QueryMethod::kBwm,
-          QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm}) {
+          QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm,
+          QueryMethod::kPlanned}) {
       (*out)[m] = obs::Tracer::Default().Intern(
           "query." + std::string(QueryMethodName(m)));
     }
@@ -311,6 +320,7 @@ Result<ObjectId> MultimediaDatabase::InsertBinaryImage(const Image& image) {
     bwm_index_.InsertBinary(id);
     return Status::OK();
   }));
+  mutation_epoch_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
@@ -354,6 +364,7 @@ Result<ObjectId> MultimediaDatabase::InsertEditedImage(
     bwm_index_.InsertEdited(info);  // Figure 1 insertion algorithm.
     return collection_.AddEdited(std::move(info));
   }));
+  mutation_epoch_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
@@ -425,7 +436,7 @@ Result<QueryResult> MultimediaDatabase::RunRange(
                           MakeProcessor(method));
     return processor->RunRange(query, ctx);
   }();
-  RecordQueryMetrics(method, /*conjunctive=*/false, result);
+  RecordQueryMetrics(method, QueryKind::kRange, result);
   return result;
 }
 
@@ -455,7 +466,45 @@ Result<QueryResult> MultimediaDatabase::RunConjunctive(
                           MakeProcessor(method));
     return processor->RunConjunctive(query, ctx);
   }();
-  RecordQueryMetrics(method, /*conjunctive=*/true, result);
+  RecordQueryMetrics(method, QueryKind::kConjunctive, result);
+  return result;
+}
+
+Result<QueryResult> MultimediaDatabase::RunSimilarity(
+    const SimilarityQuery& query) const {
+  return RunSimilarity(query, QueryContext{});
+}
+
+Result<QueryResult> MultimediaDatabase::RunSimilarity(
+    const SimilarityQuery& query, const QueryContext& ctx) const {
+  static obs::SpanCategory* const category =
+      obs::Tracer::Default().Intern("query.similarity");
+  obs::Span span(category);
+  CancelScope scope(ctx);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (query.k == 0) {
+      return Status::InvalidArgument("similarity query k must be > 0");
+    }
+    if (query.histogram.BinCount() != quantizer_.BinCount()) {
+      return Status::InvalidArgument(
+          "similarity query histogram has " +
+          std::to_string(query.histogram.BinCount()) + " bins; database has " +
+          std::to_string(quantizer_.BinCount()));
+    }
+    if (query.histogram.Total() <= 0) {
+      return Status::InvalidArgument(
+          "similarity query histogram is empty (no pixel mass)");
+    }
+    SimilaritySearcher searcher(&collection_, &rule_engine_);
+    QueryResult out;
+    MMDB_ASSIGN_OR_RETURN(out.matches,
+                          searcher.Knn(query.histogram, query.k, &out.stats,
+                                       ctx));
+    out.ids.reserve(out.matches.size());
+    for (const SimilarityMatch& match : out.matches) out.ids.push_back(match.id);
+    return out;
+  }();
+  RecordQueryMetrics(QueryMethod::kBwm, QueryKind::kSimilarity, result);
   return result;
 }
 
@@ -483,6 +532,7 @@ Status MultimediaDatabase::DeleteImage(ObjectId id) {
     }));
     MMDB_RETURN_IF_ERROR(collection_.RemoveEdited(id));
     bwm_index_.RemoveEdited(id, base_id);
+    mutation_epoch_.fetch_add(1, std::memory_order_release);
     return Status::OK();
   }
   if (collection_.FindBinary(id) != nullptr) {
@@ -508,12 +558,28 @@ Status MultimediaDatabase::DeleteImage(ObjectId id) {
     MMDB_RETURN_IF_ERROR(collection_.RemoveBinary(id));
     MMDB_RETURN_IF_ERROR(histogram_index_.Remove(index_key, id));
     bwm_index_.RemoveBinary(id);
+    // The in-memory structures are already mutated, so invalidate the
+    // planner cache even if the store deletes below fail.
+    mutation_epoch_.fetch_add(1, std::memory_order_release);
     return WithBatch([&]() -> Status {
       MMDB_RETURN_IF_ERROR(store_->Delete(catalog_keys::RasterKey(id)));
       return store_->Delete(catalog_keys::RowKey(id));
     });
   }
   return Status::NotFound("image object " + std::to_string(id));
+}
+
+std::shared_ptr<const CorpusStats> MultimediaDatabase::PlannerStats() const {
+  // Read the epoch before taking the lock: a mutation landing between the
+  // load and the rebuild just means one extra rebuild on the next call.
+  const uint64_t epoch = mutation_epoch_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(planner_stats_mu_);
+  if (planner_stats_ == nullptr || planner_stats_epoch_ != epoch) {
+    planner_stats_ =
+        std::make_shared<const CorpusStats>(CorpusStats::Collect(*this));
+    planner_stats_epoch_ = epoch;
+  }
+  return planner_stats_;
 }
 
 std::vector<ObjectId> MultimediaDatabase::ExpandWithConnections(

@@ -1,6 +1,7 @@
 #ifndef MMDB_CORE_DATABASE_H_
 #define MMDB_CORE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,8 @@
 #include "util/result.h"
 
 namespace mmdb {
+
+class CorpusStats;  // core/plan.h; cached here, collected there.
 
 /// Configuration for opening a `MultimediaDatabase`.
 struct DatabaseOptions {
@@ -72,6 +75,12 @@ enum class QueryMethod {
   /// persistent worker pool (beyond-paper). Same result sets — and the
   /// same result *order* — as kRbm.
   kParallelRbm,
+  /// Cost-based planning (src/core/plan.h): selectivity-ordered
+  /// conjuncts, a per-predicate access-path choice calibrated from the
+  /// paper's Fig 3/4 crossover, and a driver-plus-residual-filter
+  /// execution. Same result *sets* as kRbm / kBwm; result order follows
+  /// the driving predicate's scan.
+  kPlanned,
 };
 
 /// Human-readable method name ("rbm", "bwm", ...), for tables and logs.
@@ -151,6 +160,17 @@ class MultimediaDatabase {
                                      QueryMethod method,
                                      const QueryContext& ctx) const;
 
+  /// Answers a top-k nearest-histogram query: exact L1 distances for
+  /// binary images, provable `[distance_lo, distance_hi]` intervals for
+  /// edited ones (no instantiation), returning the candidate set that
+  /// provably contains the true k nearest — in `QueryResult::matches`,
+  /// with `ids` mirroring the match order.
+  Result<QueryResult> RunSimilarity(const SimilarityQuery& query) const;
+
+  /// Similarity variant under `ctx`'s limits.
+  Result<QueryResult> RunSimilarity(const SimilarityQuery& query,
+                                    const QueryContext& ctx) const;
+
   /// Builds a fresh `QueryProcessor` for `method` from the process-wide
   /// method→factory registry (`RunRange` / `RunConjunctive` dispatch
   /// through this). The processor borrows this database's in-memory
@@ -163,6 +183,14 @@ class MultimediaDatabase {
   /// undefined; the serving layers never do.
   Result<std::unique_ptr<QueryProcessor>> MakeProcessor(
       QueryMethod method) const;
+
+  /// Corpus statistics the query planner estimates selectivity from
+  /// (`QueryMethod::kPlanned`, `--explain`), collected lazily on first
+  /// use and cached until the next insert or delete. Thread-safe; the
+  /// returned snapshot stays valid after later mutations. Staleness only
+  /// skews cost estimates — the planned residual filter is exact — so a
+  /// reader racing a mutation at worst plans against the previous corpus.
+  std::shared_ptr<const CorpusStats> PlannerStats() const;
 
   /// Registers (or replaces) the factory behind `method`, letting new
   /// access paths plug into every facade and `QueryService` dispatch
@@ -267,6 +295,14 @@ class MultimediaDatabase {
   mutable std::set<ObjectId> quarantine_;
   /// Per-image transient-I/O failure counter; trips into `quarantine_`.
   mutable CircuitBreaker breaker_;
+  /// Lazily collected planner statistics (see `PlannerStats`), guarded by
+  /// `planner_stats_mu_` and invalidated by epoch: every successful
+  /// mutation bumps `mutation_epoch_`, and the cache rebuilds when its
+  /// recorded epoch falls behind.
+  mutable std::mutex planner_stats_mu_;
+  mutable std::shared_ptr<const CorpusStats> planner_stats_;
+  mutable uint64_t planner_stats_epoch_ = 0;
+  std::atomic<uint64_t> mutation_epoch_{1};
   std::unique_ptr<ObjectStore> store_;
   ColorQuantizer quantizer_;
   RuleEngine rule_engine_;

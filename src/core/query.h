@@ -2,13 +2,24 @@
 #define MMDB_CORE_QUERY_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "core/histogram.h"
 #include "core/quantizer.h"
 #include "editops/edit_ops.h"
 
 namespace mmdb {
+
+/// Formats a fraction with enough digits to round-trip through `strtod`
+/// exactly — `ToString()` renderings below are re-parseable by
+/// `ParseQuery` without changing the query they denote.
+inline std::string FormatFraction(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
 
 /// A color range query: "retrieve all images whose fraction of pixels in
 /// histogram bin `bin` lies in [min_fraction, max_fraction]" — e.g. the
@@ -24,10 +35,12 @@ struct RangeQuery {
     return fraction >= min_fraction && fraction <= max_fraction;
   }
 
+  /// Rendered in the `ParseQuery` grammar, so the output re-parses to an
+  /// equivalent query: `color(12) between 0.25 and 1`.
   std::string ToString() const {
-    return "RangeQuery(bin=" + std::to_string(bin) + ", [" +
-           std::to_string(min_fraction) + ", " +
-           std::to_string(max_fraction) + "])";
+    return "color(" + std::to_string(bin) + ") between " +
+           FormatFraction(min_fraction) + " and " +
+           FormatFraction(max_fraction);
   }
 };
 
@@ -46,15 +59,78 @@ struct ConjunctiveQuery {
     return true;
   }
 
+  /// Rendered in the `ParseQuery` grammar (conjuncts joined by `and`),
+  /// so the output re-parses to an equivalent query.
   std::string ToString() const {
-    std::string out = "Conjunctive(";
+    std::string out;
     for (size_t i = 0; i < conjuncts.size(); ++i) {
-      if (i) out += " AND ";
+      if (i) out += " and ";
       out += conjuncts[i].ToString();
     }
-    return out + ")";
+    return out;
   }
 };
+
+/// A top-k nearest-histogram query: "retrieve the k stored images whose
+/// color histogram is closest (L1) to this one". Over an augmented
+/// database the answer carries provable `[distance_lo, distance_hi]`
+/// intervals — exact for binary images, rule-derived for edited ones —
+/// and is the candidate set that provably contains the true k nearest.
+struct SimilarityQuery {
+  /// The query signature; its bin count must match the database
+  /// quantizer.
+  ColorHistogram histogram;
+  uint32_t k = 10;
+
+  /// Rendered in the `ParseQuery` grammar when the histogram has a
+  /// single occupied bin (`nearest(12, 10)`); a multi-bin signature has
+  /// no grammar form and renders descriptively.
+  std::string ToString() const {
+    BinIndex occupied = 0;
+    int occupied_bins = 0;
+    for (BinIndex bin = 0; bin < histogram.BinCount(); ++bin) {
+      if (histogram.Count(bin) > 0) {
+        occupied = bin;
+        ++occupied_bins;
+      }
+    }
+    if (occupied_bins == 1) {
+      return "nearest(" + std::to_string(occupied) + ", " +
+             std::to_string(k) + ")";
+    }
+    return "nearest(<" + std::to_string(histogram.BinCount()) +
+           "-bin histogram>, " + std::to_string(k) + ")";
+  }
+};
+
+/// One similarity-search answer. For binary images the L1 distance to the
+/// query is exact (`lo == hi`); for edited images it is an interval
+/// derived from the per-bin rule bounds without instantiation.
+struct SimilarityMatch {
+  ObjectId id = kInvalidObjectId;
+  double distance_lo = 0.0;
+  double distance_hi = 0.0;
+  bool exact = false;
+
+  /// Conservative sort key (optimistic distance).
+  double Optimistic() const { return distance_lo; }
+};
+
+/// The three shapes a query payload can take. Doubles as the label of
+/// per-kind metrics (`QueryKindName`).
+enum class QueryKind { kRange, kConjunctive, kSimilarity };
+
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kConjunctive:
+      return "conjunctive";
+    case QueryKind::kSimilarity:
+      return "similarity";
+  }
+  return "unknown";
+}
 
 /// Work counters reported by the query processors; the performance
 /// evaluation reads these alongside wall-clock time to explain *why* BWM
@@ -88,9 +164,13 @@ struct QueryStats {
 };
 
 /// A query answer: matching object ids (binary and edited, in processor
-/// order) plus the work counters.
+/// order) plus the work counters. Similarity queries additionally fill
+/// `matches` with one distance interval per id, in the same order.
 struct QueryResult {
   std::vector<ObjectId> ids;
+  /// Empty for range / conjunctive queries; parallel to `ids` for
+  /// similarity queries.
+  std::vector<SimilarityMatch> matches;
   QueryStats stats;
 };
 

@@ -14,12 +14,15 @@ enum class QueryMethod;
 /// per-method work counters re-expressing `QueryStats`
 /// (`mmdb_query_rules_applied_total`, `mmdb_query_cluster_skips_total`,
 /// `mmdb_query_bounds_runs_total`, ...). Called once per query by
-/// `MultimediaDatabase::RunRange` / `RunConjunctive`, so every dispatch
-/// route (facade, `QueryService`, examples) feeds the same instruments.
+/// `MultimediaDatabase::RunRange` / `RunConjunctive` / `RunSimilarity`,
+/// so every dispatch route (facade, `QueryService`, examples) feeds the
+/// same instruments. Similarity queries have no access-path choice, so
+/// they record under their own `method="similarity"` label and `method`
+/// is ignored.
 ///
 /// The per-method instrument set is interned once per process; the per
 /// call cost is a handful of relaxed atomic adds.
-void RecordQueryMetrics(QueryMethod method, bool conjunctive,
+void RecordQueryMetrics(QueryMethod method, QueryKind kind,
                         const Result<QueryResult>& result);
 
 }  // namespace mmdb

@@ -7,6 +7,21 @@ namespace mmdb {
 
 namespace {
 
+/// Basic CSS color keywords the grammar accepts as a colorref.
+struct NamedColor {
+  const char* name;
+  uint32_t packed;  ///< 0xrrggbb.
+};
+constexpr NamedColor kNamedColors[] = {
+    {"black", 0x000000},  {"white", 0xffffff},   {"red", 0xff0000},
+    {"green", 0x008000},  {"blue", 0x0000ff},    {"yellow", 0xffff00},
+    {"cyan", 0x00ffff},   {"magenta", 0xff00ff}, {"gray", 0x808080},
+    {"orange", 0xffa500}, {"purple", 0x800080},  {"brown", 0xa52a2a},
+    {"pink", 0xffc0cb},   {"navy", 0x000080},    {"teal", 0x008080},
+    {"olive", 0x808000},  {"maroon", 0x800000},  {"lime", 0x00ff00},
+    {"silver", 0xc0c0c0}, {"aqua", 0x00ffff},    {"fuchsia", 0xff00ff},
+};
+
 /// Hand-rolled tokenizer/recursive-descent parser for the predicate
 /// grammar in the header.
 class Parser {
@@ -26,6 +41,16 @@ class Parser {
       SkipSpace();
     }
     return query;
+  }
+
+  Result<ParsedQuery> ParseExpression() {
+    if (PeekKeyword("nearest")) {
+      MMDB_ASSIGN_OR_RETURN(SimilarityQuery nearest, ParseNearest());
+      if (!AtEnd()) return Error("trailing input after nearest(...)");
+      return ParsedQuery(std::move(nearest));
+    }
+    MMDB_ASSIGN_OR_RETURN(ConjunctiveQuery query, Parse());
+    return ParsedQuery(std::move(query));
   }
 
  private:
@@ -58,6 +83,19 @@ class Parser {
     }
     pos_ += keyword.size();
     return Status::OK();
+  }
+
+  /// True when `keyword` is next (case-insensitive), without consuming.
+  bool PeekKeyword(const std::string& keyword) {
+    SkipSpace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          keyword[i]) {
+        return false;
+      }
+    }
+    return true;
   }
 
   Status ExpectChar(char c) {
@@ -109,6 +147,26 @@ class Parser {
       }
       return quantizer_.BinOf(Rgb::FromPacked(static_cast<uint32_t>(packed)));
     }
+    if (pos_ < text_.size() &&
+        std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      // Named CSS color.
+      std::string name;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        name.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(text_[pos_]))));
+        ++pos_;
+      }
+      if (quoted && !TryChar('\'') && !TryChar('"')) {
+        return Error("unterminated quoted color");
+      }
+      for (const NamedColor& color : kNamedColors) {
+        if (name == color.name) {
+          return quantizer_.BinOf(Rgb::FromPacked(color.packed));
+        }
+      }
+      return Error("unknown color name '" + name + "'");
+    }
     // Bin index.
     const char* start = text_.c_str() + pos_;
     char* end = nullptr;
@@ -122,6 +180,28 @@ class Parser {
       return Error("bin index out of range");
     }
     return static_cast<BinIndex>(bin);
+  }
+
+  /// nearest '(' colorref ',' k ')'
+  Result<SimilarityQuery> ParseNearest() {
+    MMDB_RETURN_IF_ERROR(ExpectKeyword("nearest"));
+    MMDB_RETURN_IF_ERROR(ExpectChar('('));
+    MMDB_ASSIGN_OR_RETURN(BinIndex bin, ParseColorRef());
+    MMDB_RETURN_IF_ERROR(ExpectChar(','));
+    SkipSpace();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const long k = std::strtol(start, &end, 10);
+    if (end == start) return Error("expected a result count k");
+    pos_ += static_cast<size_t>(end - start);
+    if (k <= 0) return Error("k must be positive");
+    MMDB_RETURN_IF_ERROR(ExpectChar(')'));
+
+    SimilarityQuery query;
+    query.histogram = ColorHistogram(quantizer_.BinCount());
+    query.histogram.Add(bin, 1);
+    query.k = static_cast<uint32_t>(k);
+    return query;
   }
 
   Result<RangeQuery> ParsePredicate() {
@@ -175,6 +255,12 @@ Result<ConjunctiveQuery> ParseQuery(const std::string& text,
                                     const ColorQuantizer& quantizer) {
   Parser parser(text, quantizer);
   return parser.Parse();
+}
+
+Result<ParsedQuery> ParseQueryExpression(const std::string& text,
+                                         const ColorQuantizer& quantizer) {
+  Parser parser(text, quantizer);
+  return parser.ParseExpression();
 }
 
 }  // namespace mmdb

@@ -2,6 +2,7 @@
 #define MMDB_CORE_QUERY_PARSER_H_
 
 #include <string>
+#include <variant>
 
 #include "core/quantizer.h"
 #include "core/query.h"
@@ -16,6 +17,7 @@ namespace mmdb {
 /// ```
 /// color('#0038a8') >= 0.25
 /// color(12) <= 0.1
+/// color('blue') >= 25%
 /// color('#cc0000') between 0.2 and 0.6
 /// color('#0038a8') >= 0.25 and color('#ffffff') <= 0.1
 /// ```
@@ -23,14 +25,38 @@ namespace mmdb {
 /// Grammar (case-insensitive keywords, whitespace-insensitive):
 ///   query    := predicate ( "and" predicate )*
 ///   predicate:= "color" "(" colorref ")" constraint
-///   colorref := "'#rrggbb'" | "#rrggbb" | bin-index
+///   colorref := "'#rrggbb'" | "#rrggbb" | "'name'" | name | bin-index
 ///   constraint := ">=" number | "<=" number | "==" number
 ///               | "between" number "and" number
 ///
 /// Fractions may be written as decimals (0.25) or percentages (25%).
-/// Colors are resolved to bins with `quantizer`.
+/// Colors are resolved to bins with `quantizer`; `name` is one of the
+/// basic CSS color keywords (black, white, red, green, blue, yellow,
+/// cyan, magenta, gray, orange, purple, brown, pink, navy, teal,
+/// olive, maroon, lime, silver, aqua, fuchsia).
 Result<ConjunctiveQuery> ParseQuery(const std::string& text,
                                     const ColorQuantizer& quantizer);
+
+/// Either shape a query expression can take.
+using ParsedQuery = std::variant<ConjunctiveQuery, SimilarityQuery>;
+
+/// Parses the full expression grammar: either the predicate
+/// conjunction above, or a top-k similarity request
+///
+/// ```
+/// nearest('blue', 10)
+/// nearest(#0038a8, 5)
+/// nearest(12, 3)
+/// ```
+///
+///   expr  := query | "nearest" "(" colorref "," k ")"
+///
+/// `nearest` builds a single-bin query histogram (all mass in the
+/// resolved bin) and asks for the `k` closest images by bounded L1
+/// distance. The result round-trips: `ToString()` of either
+/// alternative re-parses to an equivalent query.
+Result<ParsedQuery> ParseQueryExpression(const std::string& text,
+                                         const ColorQuantizer& quantizer);
 
 }  // namespace mmdb
 

@@ -4,7 +4,9 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
+#include <variant>
 
 #include "obs/trace.h"
 #include "util/stopwatch.h"
@@ -35,8 +37,9 @@ obs::SpanCategory* QuerySpan() {
 }
 
 constexpr QueryMethod kAllMethods[] = {
-    QueryMethod::kInstantiate, QueryMethod::kRbm, QueryMethod::kBwm,
-    QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm};
+    QueryMethod::kInstantiate, QueryMethod::kRbm,
+    QueryMethod::kBwm,         QueryMethod::kBwmIndexed,
+    QueryMethod::kParallelRbm, QueryMethod::kPlanned};
 
 }  // namespace
 
@@ -67,7 +70,7 @@ QueryService::QueryObservation QueryService::RunOne(
     Result<QueryResult>* out, uint64_t parent_span_id) const {
   QueryObservation observation;
   observation.method = request.method;
-  observation.conjunctive = request.conjunctive.has_value();
+  observation.kind = request.kind();
 
   obs::Span span(QuerySpan(), parent_span_id);
   Stopwatch watch;
@@ -95,15 +98,20 @@ QueryService::QueryObservation QueryService::RunOne(
     }
   }
   if (admitted) {
-    if (request.range.has_value() == request.conjunctive.has_value()) {
-      *out = Status::InvalidArgument(
-          "QueryRequest must hold exactly one of a range or a conjunctive "
-          "query");
-    } else if (request.range.has_value()) {
-      *out = db_->RunRange(*request.range, request.method, ctx);
-    } else {
-      *out = db_->RunConjunctive(*request.conjunctive, request.method, ctx);
-    }
+    // The variant payload makes "neither / both set" unrepresentable, so
+    // dispatch is a total visit.
+    *out = std::visit(
+        [&](const auto& query) -> Result<QueryResult> {
+          using T = std::decay_t<decltype(query)>;
+          if constexpr (std::is_same_v<T, RangeQuery>) {
+            return db_->RunRange(query, request.method, ctx);
+          } else if constexpr (std::is_same_v<T, ConjunctiveQuery>) {
+            return db_->RunConjunctive(query, request.method, ctx);
+          } else {
+            return db_->RunSimilarity(query, ctx);
+          }
+        },
+        request.payload);
   }
   observation.wall_seconds = watch.ElapsedSeconds();
   observation.ok = out->ok();
@@ -132,10 +140,16 @@ void QueryService::Record(const QueryObservation& observation) {
   std::lock_guard<std::mutex> lock(counters_mu_);
   ++counters_.queries;
   ++counters_.queries_per_method[observation.method];
-  if (observation.conjunctive) {
-    ++counters_.conjunctive_queries;
-  } else {
-    ++counters_.range_queries;
+  switch (observation.kind) {
+    case QueryKind::kRange:
+      ++counters_.range_queries;
+      break;
+    case QueryKind::kConjunctive:
+      ++counters_.conjunctive_queries;
+      break;
+    case QueryKind::kSimilarity:
+      ++counters_.similarity_queries;
+      break;
   }
   if (observation.ok) {
     counters_.results_returned += observation.results;
@@ -230,6 +244,7 @@ void QueryService::CounterSnapshot::PrintTo(std::ostream& os) const {
   table.AddRow({"queries", TablePrinter::Cell(queries)});
   table.AddRow({"  range", TablePrinter::Cell(range_queries)});
   table.AddRow({"  conjunctive", TablePrinter::Cell(conjunctive_queries)});
+  table.AddRow({"  similarity", TablePrinter::Cell(similarity_queries)});
   for (const auto& [method, count] : queries_per_method) {
     table.AddRow({"  method " + std::string(QueryMethodName(method)),
                   TablePrinter::Cell(count)});

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <optional>
 #include <ostream>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "core/admission.h"
@@ -30,31 +30,56 @@ struct QueryServiceOptions {
   AdmissionOptions admission;
 };
 
-/// One query of a batch: a range *or* conjunctive query plus the access
-/// path to answer it with. Exactly one of `range` / `conjunctive` must be
-/// set (use the factory helpers).
+/// The payload of one query: exactly one of the three query shapes. A
+/// `std::variant` makes the old "neither set / both set" misuse states
+/// unrepresentable — a default-constructed request is a valid match-all
+/// range query.
+using QueryPayload =
+    std::variant<RangeQuery, ConjunctiveQuery, SimilarityQuery>;
+
+/// One query of a batch: a range, conjunctive, or top-k similarity query
+/// plus the access path to answer it with (similarity ignores `method` —
+/// it always runs the interval-bounded scan). Build with the factory
+/// helpers; inspect with `kind()` and the typed accessors.
 struct QueryRequest {
   QueryMethod method = QueryMethod::kBwm;
-  std::optional<RangeQuery> range;
-  std::optional<ConjunctiveQuery> conjunctive;
+  QueryPayload payload;
   /// Per-query deadline (infinite by default). Combined with the batch
   /// deadline; the earlier one wins.
   Deadline deadline;
   /// Optional caller-owned cancel token; must outlive the batch.
   const CancelToken* cancel = nullptr;
 
+  QueryKind kind() const { return static_cast<QueryKind>(payload.index()); }
+
+  /// Typed payload access: non-null exactly when `kind()` matches.
+  const RangeQuery* range() const {
+    return std::get_if<RangeQuery>(&payload);
+  }
+  const ConjunctiveQuery* conjunctive() const {
+    return std::get_if<ConjunctiveQuery>(&payload);
+  }
+  const SimilarityQuery* similarity() const {
+    return std::get_if<SimilarityQuery>(&payload);
+  }
+
   static QueryRequest Range(RangeQuery query,
                             QueryMethod method = QueryMethod::kBwm) {
     QueryRequest request;
     request.method = method;
-    request.range = std::move(query);
+    request.payload = std::move(query);
     return request;
   }
   static QueryRequest Conjunctive(ConjunctiveQuery query,
                                   QueryMethod method = QueryMethod::kBwm) {
     QueryRequest request;
     request.method = method;
-    request.conjunctive = std::move(query);
+    request.payload = std::move(query);
+    return request;
+  }
+  static QueryRequest Similarity(SimilarityQuery query) {
+    QueryRequest request;
+    request.payload = std::move(query);
     return request;
   }
 };
@@ -89,7 +114,7 @@ class QueryService {
   struct QueryObservation {
     QueryMethod method = QueryMethod::kBwm;
     bool ok = false;
-    bool conjunctive = false;
+    QueryKind kind = QueryKind::kRange;
     double wall_seconds = 0.0;
     int64_t results = 0;
     QueryStats stats;
@@ -119,6 +144,7 @@ class QueryService {
     int64_t queries = 0;
     int64_t range_queries = 0;
     int64_t conjunctive_queries = 0;
+    int64_t similarity_queries = 0;
     int64_t failed_queries = 0;
     /// Failures by lifecycle cause (all also count in `failed_queries`).
     int64_t deadline_exceeded = 0;

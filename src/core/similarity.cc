@@ -61,12 +61,15 @@ SimilarityMatch SimilaritySearcher::DistanceInterval(
 }
 
 Result<std::vector<SimilarityMatch>> SimilaritySearcher::Knn(
-    const ColorHistogram& query, size_t k, QueryStats* stats) const {
+    const ColorHistogram& query, size_t k, QueryStats* stats,
+    const QueryContext& context) const {
+  CancelCheck check(context);
   const std::vector<double> query_fractions = query.Normalized();
   std::vector<SimilarityMatch> all;
   all.reserve(collection_->BinaryCount() + collection_->EditedCount());
 
   for (ObjectId id : collection_->binary_ids()) {
+    MMDB_RETURN_IF_ERROR(check.Check());
     const BinaryImageInfo* binary = collection_->FindBinary(id);
     SimilarityMatch match;
     match.id = id;
@@ -77,6 +80,7 @@ Result<std::vector<SimilarityMatch>> SimilaritySearcher::Knn(
     if (stats != nullptr) ++stats->binary_images_checked;
   }
   for (ObjectId id : collection_->edited_ids()) {
+    MMDB_RETURN_IF_ERROR(check.Check());
     const EditedImageInfo* edited = collection_->FindEdited(id);
     MMDB_ASSIGN_OR_RETURN(auto bounds, AllBinBounds(*edited));
     all.push_back(

@@ -3,26 +3,14 @@
 
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/collection.h"
 #include "core/histogram.h"
-#include "core/query.h"
+#include "core/query.h"  // SimilarityMatch lives with the query model.
 #include "core/rules.h"
 #include "util/result.h"
 
 namespace mmdb {
-
-/// One similarity-search answer. For binary images the L1 distance to the
-/// query is exact (`lo == hi`); for edited images it is an interval
-/// derived from the per-bin rule bounds without instantiation.
-struct SimilarityMatch {
-  ObjectId id = kInvalidObjectId;
-  double distance_lo = 0.0;
-  double distance_hi = 0.0;
-  bool exact = false;
-
-  /// Conservative sort key (optimistic distance).
-  double Optimistic() const { return distance_lo; }
-};
 
 /// Similarity (nearest-neighbor) search over an augmented database — the
 /// extension the paper lists as future work (Section 6).
@@ -53,9 +41,11 @@ class SimilaritySearcher {
 
   /// k-NN candidate search (see class comment). Results are sorted by
   /// optimistic distance; `stats` counts the rule work performed.
-  Result<std::vector<SimilarityMatch>> Knn(const ColorHistogram& query,
-                                           size_t k,
-                                           QueryStats* stats = nullptr) const;
+  /// `context` (when limited) is honored cooperatively at per-image
+  /// boundaries, same contract as the range-query processors.
+  Result<std::vector<SimilarityMatch>> Knn(
+      const ColorHistogram& query, size_t k, QueryStats* stats = nullptr,
+      const QueryContext& context = {}) const;
 
   /// Answer of a similarity range query ("everything within L1 distance
   /// `radius` of the query"). `certain` images provably qualify

@@ -15,13 +15,13 @@
 ///
 /// Engine internals (the concrete query processors, the storage engine,
 /// index structures, edit-script transforms) live behind
-/// `mmdb_internal.h`. Queries are issued through `QueryService` (or the
-/// facade's `RunRange` / `RunConjunctive`); constructing a processor
-/// directly is an internal affordance, not API. For one release this
-/// umbrella still pulls the internals in by default — define
-/// `MMDB_PUBLIC_API_ONLY` to get the lean surface now, and include
-/// `mmdb_internal.h` explicitly where you genuinely embed engine
-/// internals.
+/// `mmdb_internal.h`, which code that genuinely embeds the engine must
+/// include explicitly. Queries are issued through `QueryService` (or the
+/// facade's `RunRange` / `RunConjunctive` / `RunSimilarity`);
+/// constructing a processor directly is an internal affordance, not API.
+/// (The one-release deprecated passthrough that pulled the internals in
+/// by default, and its `MMDB_PUBLIC_API_ONLY` opt-out, are retired: this
+/// umbrella is now always the lean surface.)
 
 // Database facade, query types, and the serving layer.
 #include "core/admission.h"
@@ -69,12 +69,5 @@
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
-
-// Deprecated passthrough, kept for one release: the engine internals
-// used to be part of this umbrella. New code should include
-// "mmdb_internal.h" itself (or better, stay on the public surface).
-#ifndef MMDB_PUBLIC_API_ONLY
-#include "mmdb_internal.h"
-#endif
 
 #endif  // MMDB_MMDB_H_

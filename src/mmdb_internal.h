@@ -13,15 +13,16 @@
 /// instead of constructing processors directly; both execute the same
 /// `QueryRequest` and return the same `QueryResult`.
 
-// The five access-path processors (instantiate, RBM, BWM, indexed BWM,
-// parallel RBM) and the machinery they share. Reach them through
-// `QueryService` / `MultimediaDatabase::RunRange` — direct construction
-// is deprecated as public API.
+// The access-path processors (instantiate, RBM, BWM, indexed BWM,
+// parallel RBM, planned) and the machinery they share. Reach them
+// through `QueryService` / `MultimediaDatabase::RunRange` — direct
+// construction is deprecated as public API.
 #include "core/bounds.h"
 #include "core/bwm.h"
 #include "core/executor.h"
 #include "core/instantiate.h"
 #include "core/parallel.h"
+#include "core/plan.h"
 #include "core/query_processor.h"
 #include "core/rbm.h"
 #include "core/rules.h"

@@ -79,6 +79,19 @@ Result<QueryResult> Client::Execute(const QueryRequest& request) {
               std::to_string(result.ids.size()));
         }
         result.stats = done.stats;
+        if (!done.matches.empty()) {
+          if (done.matches.size() != result.ids.size()) {
+            Close();
+            return Status::Internal(
+                "interval trailer carries " +
+                std::to_string(done.matches.size()) + " entries for " +
+                std::to_string(result.ids.size()) + " ids");
+          }
+          result.matches = std::move(done.matches);
+          for (size_t i = 0; i < result.matches.size(); ++i) {
+            result.matches[i].id = result.ids[i];
+          }
+        }
         if (timed) MMDB_RETURN_IF_ERROR(socket_.SetRecvTimeout(0));
         return result;
       }
@@ -97,6 +110,22 @@ Result<QueryResult> Client::Execute(const QueryRequest& request) {
                                 " inside a result stream");
     }
   }
+}
+
+Result<std::string> Client::Explain(const QueryRequest& request) {
+  MMDB_ASSIGN_OR_RETURN(Frame frame,
+                        RoundTrip(EncodeExplainRequest(request)));
+  if (frame.type() == FrameType::kError) {
+    Status error;
+    MMDB_RETURN_IF_ERROR(DecodeError(frame, &error));
+    return error;
+  }
+  if (frame.type() != FrameType::kExplainResponse) {
+    Close();
+    return Status::Internal("expected an explain response, got frame type " +
+                            std::to_string(frame.raw_type));
+  }
+  return DecodeExplainResponse(frame);
 }
 
 Result<ServerInfo> Client::GetInfo() {

@@ -50,6 +50,10 @@ class Client {
   /// client cancels server-side via the disconnect watcher).
   Result<QueryResult> Execute(const QueryRequest& request);
 
+  /// Renders the server-side execution plan for `request` without
+  /// running it — the same text `ExplainQuery` produces embedded.
+  Result<std::string> Explain(const QueryRequest& request);
+
   /// The server's quantizer shape and collection size — enough for a
   /// remote caller to parse color expressions (`ParseQuery`) with the
   /// same bins the server scans.

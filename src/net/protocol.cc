@@ -79,6 +79,8 @@ uint8_t QueryMethodToWire(QueryMethod method) {
       return 3;
     case QueryMethod::kParallelRbm:
       return 4;
+    case QueryMethod::kPlanned:
+      return 5;
   }
   return 0xff;  // Unreachable for valid enum values.
 }
@@ -95,6 +97,8 @@ Result<QueryMethod> QueryMethodFromWire(uint8_t wire_method) {
       return QueryMethod::kBwmIndexed;
     case 4:
       return QueryMethod::kParallelRbm;
+    case 5:
+      return QueryMethod::kPlanned;
     default:
       return Status::InvalidArgument("unknown query method code " +
                                      std::to_string(wire_method) +
@@ -102,30 +106,43 @@ Result<QueryMethod> QueryMethodFromWire(uint8_t wire_method) {
   }
 }
 
-std::string EncodeExecuteRequest(const QueryRequest& request,
-                                 uint16_t version) {
-  WireWriter w = BeginFrame(FrameType::kExecuteRequest, version);
+namespace {
+
+/// kExecuteRequest and kExplainRequest share one field schema.
+std::string EncodeRequestFields(FrameType type, const QueryRequest& request,
+                                uint16_t version) {
+  WireWriter w = BeginFrame(type, version);
   {
     WireWriter f;
     f.PutU8(QueryMethodToWire(request.method));
     w.PutField(tag::kMethod, f.data());
   }
-  if (request.range.has_value()) {
+  if (const RangeQuery* range = request.range()) {
     WireWriter f;
-    f.PutU32(static_cast<uint32_t>(request.range->bin));
-    f.PutF64(request.range->min_fraction);
-    f.PutF64(request.range->max_fraction);
+    f.PutU32(static_cast<uint32_t>(range->bin));
+    f.PutF64(range->min_fraction);
+    f.PutF64(range->max_fraction);
     w.PutField(tag::kRange, f.data());
   }
-  if (request.conjunctive.has_value()) {
+  if (const ConjunctiveQuery* conjunctive = request.conjunctive()) {
     WireWriter f;
-    f.PutU32(static_cast<uint32_t>(request.conjunctive->conjuncts.size()));
-    for (const RangeQuery& conjunct : request.conjunctive->conjuncts) {
+    f.PutU32(static_cast<uint32_t>(conjunctive->conjuncts.size()));
+    for (const RangeQuery& conjunct : conjunctive->conjuncts) {
       f.PutU32(static_cast<uint32_t>(conjunct.bin));
       f.PutF64(conjunct.min_fraction);
       f.PutF64(conjunct.max_fraction);
     }
     w.PutField(tag::kConjuncts, f.data());
+  }
+  if (const SimilarityQuery* similarity = request.similarity()) {
+    // Integer pixel counts (not fractions) cross the wire, so the server
+    // reconstructs the exact histogram and loopback results stay
+    // bit-identical to the embedded path.
+    WireWriter f;
+    f.PutU32(similarity->k);
+    f.PutU32(static_cast<uint32_t>(similarity->histogram.BinCount()));
+    for (int64_t count : similarity->histogram.counts()) f.PutI64(count);
+    w.PutField(tag::kSimilarity, f.data());
   }
   if (!request.deadline.IsInfinite()) {
     // Remaining milliseconds, floored at zero: an already-expired
@@ -140,11 +157,24 @@ std::string EncodeExecuteRequest(const QueryRequest& request,
   return w.Take();
 }
 
+}  // namespace
+
+std::string EncodeExecuteRequest(const QueryRequest& request,
+                                 uint16_t version) {
+  return EncodeRequestFields(FrameType::kExecuteRequest, request, version);
+}
+
+std::string EncodeExplainRequest(const QueryRequest& request,
+                                 uint16_t version) {
+  return EncodeRequestFields(FrameType::kExplainRequest, request, version);
+}
+
 Result<QueryRequest> DecodeExecuteRequest(const Frame& frame) {
   QueryRequest request;
   bool saw_method = false;
   bool saw_range = false;
   bool saw_conjuncts = false;
+  bool saw_similarity = false;
   Status walk = ForEachField(
       frame.fields,
       [&](uint16_t field_tag, std::string_view payload) -> Status {
@@ -168,7 +198,7 @@ Result<QueryRequest> DecodeExecuteRequest(const Frame& frame) {
               return Status::InvalidArgument("truncated range field");
             }
             range.bin = static_cast<BinIndex>(bin);
-            request.range = range;
+            request.payload = range;
             saw_range = true;
             return Status::OK();
           }
@@ -188,8 +218,34 @@ Result<QueryRequest> DecodeExecuteRequest(const Frame& frame) {
               conjunct.bin = static_cast<BinIndex>(bin);
               conjunctive.conjuncts.push_back(conjunct);
             }
-            request.conjunctive = std::move(conjunctive);
+            request.payload = std::move(conjunctive);
             saw_conjuncts = true;
+            return Status::OK();
+          }
+          case tag::kSimilarity: {
+            uint32_t k;
+            uint32_t bins;
+            if (!f.GetU32(&k) || !f.GetU32(&bins)) {
+              return Status::InvalidArgument("truncated similarity field");
+            }
+            if (f.remaining() != static_cast<size_t>(bins) * 8) {
+              return Status::InvalidArgument(
+                  "similarity histogram length disagrees with its arity");
+            }
+            SimilarityQuery similarity;
+            similarity.k = k;
+            similarity.histogram =
+                ColorHistogram(static_cast<int32_t>(bins));
+            for (uint32_t bin = 0; bin < bins; ++bin) {
+              int64_t count;
+              if (!f.GetI64(&count)) {
+                return Status::InvalidArgument(
+                    "truncated similarity histogram");
+              }
+              similarity.histogram.Add(static_cast<BinIndex>(bin), count);
+            }
+            request.payload = std::move(similarity);
+            saw_similarity = true;
             return Status::OK();
           }
           case tag::kDeadlineMs: {
@@ -210,10 +266,15 @@ Result<QueryRequest> DecodeExecuteRequest(const Frame& frame) {
   if (!saw_method) {
     return Status::InvalidArgument("execute frame lacks a method field");
   }
-  if (saw_range == saw_conjuncts) {
+  // The variant holds whichever payload tag decoded last; the wire stays
+  // strict regardless: exactly one payload tag per frame.
+  const int payloads = static_cast<int>(saw_range) +
+                       static_cast<int>(saw_conjuncts) +
+                       static_cast<int>(saw_similarity);
+  if (payloads != 1) {
     return Status::InvalidArgument(
-        "execute frame must carry exactly one of a range or a "
-        "conjunctive query");
+        "execute frame must carry exactly one of a range, conjunctive, "
+        "or similarity query");
   }
   return request;
 }
@@ -241,7 +302,8 @@ Status DecodeResultChunk(const Frame& frame, std::vector<ObjectId>* ids) {
       });
 }
 
-std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids) {
+std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids,
+                             std::span<const SimilarityMatch> matches) {
   WireWriter w = BeginFrame(FrameType::kResultDone);
   {
     // The stats blob is an ordered run of i64 counters. Appending a new
@@ -260,6 +322,17 @@ std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids) {
     WireWriter f;
     f.PutU64(total_ids);
     w.PutField(tag::kTotalIds, f.data());
+  }
+  if (!matches.empty()) {
+    // One interval per streamed id, in stream order; f64 bit patterns
+    // round-trip exactly, keeping loopback results bit-identical.
+    WireWriter f;
+    for (const SimilarityMatch& match : matches) {
+      f.PutF64(match.distance_lo);
+      f.PutF64(match.distance_hi);
+      f.PutU8(match.exact ? 1 : 0);
+    }
+    w.PutField(tag::kIntervals, f.data());
   }
   return w.Take();
 }
@@ -293,6 +366,25 @@ Result<ResultDone> DecodeResultDone(const Frame& frame) {
           case tag::kTotalIds: {
             if (!f.GetU64(&done.total_ids)) {
               return Status::InvalidArgument("truncated total-ids field");
+            }
+            return Status::OK();
+          }
+          case tag::kIntervals: {
+            constexpr size_t kEntryBytes = 8 + 8 + 1;
+            if (payload.size() % kEntryBytes != 0) {
+              return Status::InvalidArgument(
+                  "interval trailer not a multiple of 17 bytes");
+            }
+            done.matches.reserve(payload.size() / kEntryBytes);
+            while (f.remaining() > 0) {
+              SimilarityMatch match;
+              uint8_t exact;
+              if (!f.GetF64(&match.distance_lo) ||
+                  !f.GetF64(&match.distance_hi) || !f.GetU8(&exact)) {
+                return Status::InvalidArgument("truncated interval trailer");
+              }
+              match.exact = exact != 0;
+              done.matches.push_back(match);
             }
             return Status::OK();
           }
@@ -410,5 +502,32 @@ Result<ServerInfo> DecodeInfoResponse(const Frame& frame) {
 
 std::string EncodePing() { return BeginFrame(FrameType::kPing).Take(); }
 std::string EncodePong() { return BeginFrame(FrameType::kPong).Take(); }
+
+std::string EncodeExplainResponse(std::string_view plan_text) {
+  WireWriter w = BeginFrame(FrameType::kExplainResponse);
+  WireWriter f;
+  f.PutBytes(plan_text);
+  w.PutField(tag::kPlanText, f.data());
+  return w.Take();
+}
+
+Result<std::string> DecodeExplainResponse(const Frame& frame) {
+  std::string text;
+  bool saw_text = false;
+  Status walk = ForEachField(
+      frame.fields,
+      [&](uint16_t field_tag, std::string_view payload) -> Status {
+        if (field_tag == tag::kPlanText) {
+          text.assign(payload);
+          saw_text = true;
+        }
+        return Status::OK();
+      });
+  MMDB_RETURN_IF_ERROR(walk);
+  if (!saw_text) {
+    return Status::InvalidArgument("explain response lacks a plan field");
+  }
+  return text;
+}
 
 }  // namespace mmdb::net

@@ -33,7 +33,12 @@ namespace mmdb::net {
 ///  * Existing tags, frame types, and wire status codes are never
 ///    renumbered or re-typed — only appended.
 inline constexpr uint32_t kMagic = 0x42444d4d;  // "MMDB" read little-endian.
-inline constexpr uint16_t kProtocolVersion = 1;
+/// v2 appended: similarity payloads (tag 5 on kExecuteRequest), the
+/// distance-interval result trailer (tag 3 on kResultDone), the explain
+/// frames (types 9/10), and wire method code 5 (planned). v1 peers
+/// interoperate untouched — every addition is a new tag, frame type, or
+/// code.
+inline constexpr uint16_t kProtocolVersion = 2;
 inline constexpr uint16_t kMinProtocolVersion = 1;
 
 /// Frame header size: magic + version + type.
@@ -60,6 +65,12 @@ enum class FrameType : uint16_t {
   /// Liveness probe and its echo.
   kPing = 7,
   kPong = 8,
+  /// Client -> server: render the execution plan for a `QueryRequest`
+  /// without running it. Carries the same tagged fields as
+  /// kExecuteRequest.
+  kExplainRequest = 9,
+  /// Server -> client: the plan text.
+  kExplainResponse = 10,
 };
 
 /// A decoded frame header plus its raw tagged-field region. Frame-type
@@ -77,16 +88,22 @@ struct Frame {
 /// Field tags, per frame type. Tag numbers are only unique within their
 /// frame type.
 namespace tag {
-// kExecuteRequest
+// kExecuteRequest (and kExplainRequest, which shares its schema)
 inline constexpr uint16_t kMethod = 1;      ///< u8 wire method code.
 inline constexpr uint16_t kRange = 2;       ///< u32 bin, f64 min, f64 max.
 inline constexpr uint16_t kConjuncts = 3;   ///< u32 count + count triples.
 inline constexpr uint16_t kDeadlineMs = 4;  ///< u64 relative ms; absent = none.
+inline constexpr uint16_t kSimilarity = 5;  ///< u32 k, u32 bins, bins i64s.
 // kResultChunk
 inline constexpr uint16_t kIds = 1;  ///< packed u64 object ids.
 // kResultDone
 inline constexpr uint16_t kStats = 1;     ///< packed i64 work counters.
 inline constexpr uint16_t kTotalIds = 2;  ///< u64 ids across all chunks.
+inline constexpr uint16_t kIntervals = 3;  ///< per id: f64 lo, f64 hi, u8
+                                           ///< exact — aligned with the id
+                                           ///< stream (similarity only).
+// kExplainResponse
+inline constexpr uint16_t kPlanText = 1;  ///< UTF-8 plan rendering.
 // kError
 inline constexpr uint16_t kCode = 1;     ///< u16 WireStatusCode.
 inline constexpr uint16_t kMessage = 2;  ///< UTF-8 text.
@@ -105,10 +122,14 @@ struct ServerInfo {
   uint16_t protocol_version = 0;
 };
 
-/// End-of-stream record of a successful query.
+/// End-of-stream record of a successful query. For similarity queries
+/// `matches` carries one `[distance_lo, distance_hi]` interval per
+/// streamed id, in id-stream order, with `SimilarityMatch::id` left to
+/// the caller to zip back in from the chunks.
 struct ResultDone {
   QueryStats stats;
   uint64_t total_ids = 0;
+  std::vector<SimilarityMatch> matches;
 };
 
 /// Splits a payload into header + field region, validating magic and
@@ -129,19 +150,29 @@ std::string EncodeExecuteRequest(const QueryRequest& request,
                                  uint16_t version = kProtocolVersion);
 
 std::string EncodeResultChunk(std::span<const ObjectId> ids);
-std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids);
+/// `matches` (when non-empty) becomes the interval trailer; intervals
+/// travel as raw IEEE-754 bit patterns, so a loopback round trip is
+/// bit-identical to the embedded result.
+std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids,
+                             std::span<const SimilarityMatch> matches = {});
 /// `status` must be non-OK.
 std::string EncodeError(const Status& status);
 std::string EncodeInfoRequest();
 std::string EncodeInfoResponse(const ServerInfo& info);
 std::string EncodePing();
 std::string EncodePong();
+/// Same tagged fields as `EncodeExecuteRequest`, under the
+/// kExplainRequest frame type.
+std::string EncodeExplainRequest(const QueryRequest& request,
+                                 uint16_t version = kProtocolVersion);
+std::string EncodeExplainResponse(std::string_view plan_text);
 
 // --- Decoders (frame-type specific, over Frame::fields) ---------------
 
 /// Rebuilds the `QueryRequest` a vN-or-newer peer encoded. Unknown tags
-/// are skipped; a request that sets neither (or both) of range /
-/// conjuncts, or an unknown method code, is InvalidArgument.
+/// are skipped; a request that does not carry exactly one of the range /
+/// conjuncts / similarity payload tags, or an unknown method code, is
+/// InvalidArgument. Also decodes kExplainRequest frames (same schema).
 Result<QueryRequest> DecodeExecuteRequest(const Frame& frame);
 
 /// Appends the chunk's ids onto `*ids`.
@@ -155,6 +186,9 @@ Result<ResultDone> DecodeResultDone(const Frame& frame);
 Status DecodeError(const Frame& frame, Status* carried);
 
 Result<ServerInfo> DecodeInfoResponse(const Frame& frame);
+
+/// Extracts the plan text of a kExplainResponse frame.
+Result<std::string> DecodeExplainResponse(const Frame& frame);
 
 /// The wire code for a `QueryMethod` and back. Like status codes these
 /// are append-only protocol constants decoupled from the enum.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/database.h"
+#include "core/plan.h"
 #include "net/protocol.h"
 #include "net/status_codes.h"
 #include "util/stopwatch.h"
@@ -206,6 +207,8 @@ bool QueryServer::HandleFrame(Socket& socket, std::string_view payload) {
   switch (frame->type()) {
     case FrameType::kExecuteRequest:
       return HandleExecute(socket, *frame);
+    case FrameType::kExplainRequest:
+      return HandleExplain(socket, *frame);
     case FrameType::kPing:
       return SendTracked(socket, EncodePong()).ok();
     case FrameType::kInfoRequest: {
@@ -222,6 +225,7 @@ bool QueryServer::HandleFrame(Socket& socket, std::string_view payload) {
     case FrameType::kError:
     case FrameType::kInfoResponse:
     case FrameType::kPong:
+    case FrameType::kExplainResponse:
       // Response types arriving at the server: a confused peer. Typed
       // error, connection stays up (framing is intact).
       return SendError(
@@ -284,12 +288,27 @@ bool QueryServer::HandleExecute(Socket& socket, const Frame& frame) {
     }
     if (alive) {
       alive = SendTracked(socket,
-                          EncodeResultDone(result->stats, ids.size()))
+                          EncodeResultDone(result->stats, ids.size(),
+                                           result->matches))
                   .ok();
     }
   }
   rpc_latency_->Record(watch.ElapsedSeconds());
   return alive;
+}
+
+bool QueryServer::HandleExplain(Socket& socket, const Frame& frame) {
+  Result<QueryRequest> decoded = DecodeExecuteRequest(frame);
+  if (!decoded.ok()) {
+    decode_errors_.fetch_add(1);
+    decode_errors_total_->Increment();
+    return SendError(socket, decoded.status());
+  }
+  requests_.fetch_add(1);
+  requests_total_->Increment();
+  Result<std::string> plan = ExplainQuery(*db_, *decoded);
+  if (!plan.ok()) return SendError(socket, plan.status());
+  return SendTracked(socket, EncodeExplainResponse(*plan)).ok();
 }
 
 }  // namespace mmdb::net

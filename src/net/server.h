@@ -105,6 +105,7 @@ class QueryServer {
   /// Handles one decoded frame; false ends the connection.
   bool HandleFrame(Socket& socket, std::string_view payload);
   bool HandleExecute(Socket& socket, const struct Frame& frame);
+  bool HandleExplain(Socket& socket, const struct Frame& frame);
   /// Best-effort error reply; false if the socket is gone.
   bool SendError(Socket& socket, const Status& status);
   Status SendTracked(Socket& socket, std::string_view payload);

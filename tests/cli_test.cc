@@ -80,12 +80,20 @@ TEST_F(CliTest, FullSessionWorkflow) {
   EXPECT_EQ(Run("query '#0038a8' 0.2 1.0 --method=bwm", &out), 0) << out;
   EXPECT_NE(out.find("matches:"), std::string::npos) << out;
 
+  EXPECT_EQ(Run("query '#0038a8' 0.2 1.0 --method=planned", &out), 0) << out;
+  EXPECT_NE(out.find("matches:"), std::string::npos) << out;
+
   EXPECT_EQ(
       Run("queryx \"color('#0038a8') >= 20% and color('#ffffff') <= 60%\"",
           &out),
       0)
       << out;
   EXPECT_NE(out.find("matches:"), std::string::npos) << out;
+
+  // nearest(...) routes queryx through the similarity path.
+  EXPECT_EQ(Run("queryx \"nearest('#0038a8', 2)\"", &out), 0) << out;
+  EXPECT_NE(out.find("candidates"), std::string::npos) << out;
+  EXPECT_NE(out.find("d=["), std::string::npos) << out;
 
   EXPECT_EQ(Run("knn '" + dir_ + "/blue.ppm' 2", &out), 0) << out;
   EXPECT_NE(out.find("candidates"), std::string::npos) << out;

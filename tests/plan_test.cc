@@ -1,0 +1,277 @@
+// The query planner: selectivity estimation from corpus statistics, the
+// Fig 3/4-calibrated cost model and its conventional-vs-indexed
+// crossover, most-selective-first conjunct ordering, and the
+// kPlanned access path's driver-plus-residual-filter execution, which
+// must return the same result sets as the unplanned processors.
+
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_service.h"
+#include "datasets/augment.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+/// 2 solid-red images in a sea of 118 solid-blue: a red predicate is
+/// ~1.7% selective (well under the indexed crossover), a blue one ~98%
+/// (well over it).
+std::unique_ptr<MultimediaDatabase> MakeSkewedBinaryDataset() {
+  auto db = MultimediaDatabase::Open().value();
+  for (int i = 0; i < 118; ++i) {
+    EXPECT_TRUE(db->InsertBinaryImage(Image(8, 8, colors::kBlue)).ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(db->InsertBinaryImage(Image(8, 8, colors::kRed)).ok());
+  }
+  return db;
+}
+
+std::unique_ptr<MultimediaDatabase> MakeAugmentedDataset(int total_images,
+                                                         uint64_t seed) {
+  auto db = MultimediaDatabase::Open().value();
+  datasets::DatasetSpec spec;
+  spec.total_images = total_images;
+  spec.edited_fraction = 0.7;
+  spec.seed = seed;
+  EXPECT_TRUE(datasets::BuildAugmentedDatabase(db.get(), spec).ok());
+  return db;
+}
+
+RangeQuery AtLeast(BinIndex bin, double min_fraction) {
+  RangeQuery query;
+  query.bin = bin;
+  query.min_fraction = min_fraction;
+  query.max_fraction = 1.0;
+  return query;
+}
+
+std::vector<ObjectId> Sorted(std::vector<ObjectId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(CorpusStatsTest, SelectivityMatchesKnownOccupancy) {
+  auto db = MakeSkewedBinaryDataset();
+  const CorpusStats stats = CorpusStats::Collect(*db);
+  EXPECT_EQ(stats.binary_count(), 120);
+  EXPECT_EQ(stats.edited_count(), 0);
+
+  SelectivitySource source = SelectivitySource::kSampled;
+  const double red = stats.Selectivity(
+      AtLeast(db->BinOf(colors::kRed), 0.5), &source);
+  EXPECT_NEAR(red, 2.0 / 120.0, 1e-9);
+  EXPECT_EQ(source, SelectivitySource::kIndex);
+
+  const double blue =
+      stats.Selectivity(AtLeast(db->BinOf(colors::kBlue), 0.5), &source);
+  EXPECT_NEAR(blue, 118.0 / 120.0, 1e-9);
+
+  // A full-range predicate matches everything.
+  EXPECT_NEAR(stats.Selectivity(AtLeast(db->BinOf(colors::kRed), 0.0)),
+              1.0, 1e-9);
+}
+
+TEST(QueryPlannerTest, CostModelCrossesOverAtSelectivity) {
+  auto db = MakeSkewedBinaryDataset();
+  const QueryPlanner planner(*db);
+  // Selective side of the Fig 3/4 crossover: the R-tree's traversal
+  // overhead is cheaper than probing every stored histogram.
+  EXPECT_LT(planner.MethodCost(QueryMethod::kBwmIndexed, 0.01),
+            planner.MethodCost(QueryMethod::kRbm, 0.01));
+  // Broad side: per-result index visits lose to the linear scan.
+  EXPECT_GT(planner.MethodCost(QueryMethod::kBwmIndexed, 0.5),
+            planner.MethodCost(QueryMethod::kRbm, 0.5));
+  // kInstantiate is the most expensive path whenever scripts exist.
+  auto edited_db = MakeAugmentedDataset(40, 3301);
+  const QueryPlanner edited_planner(*edited_db);
+  for (double s : {0.01, 0.25, 0.9}) {
+    EXPECT_GT(edited_planner.MethodCost(QueryMethod::kInstantiate, s),
+              edited_planner.MethodCost(QueryMethod::kRbm, s));
+    EXPECT_GT(edited_planner.MethodCost(QueryMethod::kInstantiate, s),
+              edited_planner.MethodCost(QueryMethod::kBwm, s));
+  }
+}
+
+TEST(QueryPlannerTest, GoldenDriverMethodOnBothSidesOfTheCrossover) {
+  auto db = MakeSkewedBinaryDataset();
+  const QueryPlanner planner(*db);
+
+  // ~1.7% selective: the planner must reach for the histogram R-tree.
+  const QueryPlan selective =
+      planner.PlanRange(AtLeast(db->BinOf(colors::kRed), 0.5));
+  ASSERT_EQ(selective.steps.size(), 1u);
+  EXPECT_EQ(selective.driver().method, QueryMethod::kBwmIndexed);
+  EXPECT_NEAR(selective.estimated_driver_results, 2.0, 1e-6);
+
+  // ~98% selective: a linear scan beats paying the index per result.
+  const QueryPlan broad =
+      planner.PlanRange(AtLeast(db->BinOf(colors::kBlue), 0.5));
+  ASSERT_EQ(broad.steps.size(), 1u);
+  EXPECT_NE(broad.driver().method, QueryMethod::kBwmIndexed);
+  EXPECT_NE(broad.driver().method, QueryMethod::kInstantiate);
+}
+
+TEST(QueryPlannerTest, ConjunctsAreOrderedMostSelectiveFirst) {
+  auto db = MakeSkewedBinaryDataset();
+  const QueryPlanner planner(*db);
+  ConjunctiveQuery query;
+  query.conjuncts.push_back(AtLeast(db->BinOf(colors::kBlue), 0.5));
+  query.conjuncts.push_back(AtLeast(db->BinOf(colors::kRed), 0.5));
+  const QueryPlan plan = planner.PlanConjunctive(query);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  // The red predicate (2/120) drives; the blue one filters.
+  EXPECT_EQ(plan.steps[0].predicate.bin, db->BinOf(colors::kRed));
+  EXPECT_EQ(plan.steps[1].predicate.bin, db->BinOf(colors::kBlue));
+  EXPECT_LT(plan.steps[0].selectivity, plan.steps[1].selectivity);
+  EXPECT_EQ(plan.steps[0].method, QueryMethod::kBwmIndexed);
+}
+
+TEST(PlannedProcessorTest, PlannedResultsAreSetEqualToUnplanned) {
+  auto db = MakeAugmentedDataset(60, 3303);
+  Rng rng(3305);
+  const auto windows = datasets::MakeGroundedRangeWorkload(
+      db->collection(), db->quantizer(), datasets::FlagPalette(), 8, rng);
+  ASSERT_GE(windows.size(), 3u);
+
+  for (size_t i = 0; i + 2 < windows.size(); ++i) {
+    ConjunctiveQuery query;
+    query.conjuncts.push_back(windows[i]);
+    query.conjuncts.push_back(windows[i + 1]);
+    query.conjuncts.push_back(windows[i + 2]);
+    const auto planned = db->RunConjunctive(query, QueryMethod::kPlanned);
+    const auto rbm = db->RunConjunctive(query, QueryMethod::kRbm);
+    const auto bwm = db->RunConjunctive(query, QueryMethod::kBwm);
+    ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+    ASSERT_TRUE(rbm.ok());
+    ASSERT_TRUE(bwm.ok());
+    // Same sets; order follows the planned driver's scan.
+    EXPECT_EQ(Sorted(planned->ids), Sorted(rbm->ids)) << query.ToString();
+    EXPECT_EQ(Sorted(planned->ids), Sorted(bwm->ids)) << query.ToString();
+  }
+
+  // Single-predicate requests route straight through the chosen driver.
+  for (const RangeQuery& window : windows) {
+    const auto planned = db->RunRange(window, QueryMethod::kPlanned);
+    const auto rbm = db->RunRange(window, QueryMethod::kRbm);
+    ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+    ASSERT_TRUE(rbm.ok());
+    EXPECT_EQ(Sorted(planned->ids), Sorted(rbm->ids)) << window.ToString();
+  }
+}
+
+TEST(PlannedProcessorTest, EmptyConjunctionIsRejected) {
+  auto db = MakeAugmentedDataset(10, 3307);
+  const auto result =
+      db->RunConjunctive(ConjunctiveQuery{}, QueryMethod::kPlanned);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlannedProcessorTest, ServiceExecutesPlannedRequests) {
+  auto db = MakeAugmentedDataset(40, 3309);
+  QueryService service(db.get(), QueryServiceOptions{2, {}});
+  Rng rng(3311);
+  const auto windows = datasets::MakeGroundedRangeWorkload(
+      db->collection(), db->quantizer(), datasets::FlagPalette(), 2, rng);
+  ConjunctiveQuery query;
+  query.conjuncts.push_back(windows[0]);
+  query.conjuncts.push_back(windows[1 % windows.size()]);
+  const auto result =
+      service.Execute(QueryRequest::Conjunctive(query, QueryMethod::kPlanned));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto snapshot = service.Snapshot();
+  EXPECT_EQ(snapshot.queries_per_method.at(QueryMethod::kPlanned), 1);
+}
+
+TEST(ExplainQueryTest, RendersPlanFilterStepsAndMethodNote) {
+  auto db = MakeSkewedBinaryDataset();
+  ConjunctiveQuery query;
+  query.conjuncts.push_back(AtLeast(db->BinOf(colors::kBlue), 0.5));
+  query.conjuncts.push_back(AtLeast(db->BinOf(colors::kRed), 0.5));
+
+  const auto planned = ExplainQuery(
+      *db, QueryRequest::Conjunctive(query, QueryMethod::kPlanned));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_NE(planned->find("query plan (2 predicates"), std::string::npos);
+  EXPECT_NE(planned->find("scan"), std::string::npos);
+  EXPECT_NE(planned->find("filter"), std::string::npos);
+  EXPECT_NE(planned->find("selectivity"), std::string::npos);
+  EXPECT_NE(planned->find("method bwm-indexed"), std::string::npos);
+  EXPECT_EQ(planned->find("note:"), std::string::npos);
+
+  // A non-planned method gets the advisory note appended.
+  const auto advisory = ExplainQuery(
+      *db, QueryRequest::Conjunctive(query, QueryMethod::kBwm));
+  ASSERT_TRUE(advisory.ok());
+  EXPECT_NE(advisory->find("note: request method is 'bwm'"),
+            std::string::npos);
+
+  // Range requests plan as a single predicate.
+  const auto range = ExplainQuery(
+      *db, QueryRequest::Range(AtLeast(db->BinOf(colors::kRed), 0.5),
+                               QueryMethod::kPlanned));
+  ASSERT_TRUE(range.ok());
+  EXPECT_NE(range->find("query plan (1 predicate"), std::string::npos);
+
+  // Invalid payloads are rejected, not rendered.
+  RangeQuery bad = AtLeast(10000, 0.5);
+  EXPECT_FALSE(
+      ExplainQuery(*db, QueryRequest::Range(bad, QueryMethod::kPlanned))
+          .ok());
+}
+
+TEST(ExplainQueryTest, RendersSimilarityScanShape) {
+  auto db = MakeAugmentedDataset(20, 3313);
+  SimilarityQuery query;
+  query.histogram = ColorHistogram(db->quantizer().BinCount());
+  query.histogram.Add(db->BinOf(colors::kBlue), 1);
+  query.k = 10;
+  const auto plan = ExplainQuery(*db, QueryRequest::Similarity(query));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("similarity scan"), std::string::npos);
+  EXPECT_NE(plan->find("nearest("), std::string::npos);
+  EXPECT_NE(plan->find("no false negatives"), std::string::npos);
+
+  SimilarityQuery bad = query;
+  bad.histogram = ColorHistogram(db->quantizer().BinCount() + 3);
+  EXPECT_FALSE(ExplainQuery(*db, QueryRequest::Similarity(bad)).ok());
+}
+
+TEST(SimilarityContractTest, KnnIntervalsContainTrueDistancesAndTopK) {
+  // No-false-negatives: every returned interval must contain the true
+  // L1 distance of the instantiated image, and the k matches with the
+  // smallest guaranteed (hi) distance must all be present.
+  auto db = MakeAugmentedDataset(50, 3315);
+  SimilarityQuery query;
+  query.histogram = ColorHistogram(db->quantizer().BinCount());
+  query.histogram.Add(db->BinOf(colors::kBlue), 2);
+  query.histogram.Add(db->BinOf(colors::kWhite), 1);
+  query.k = 8;
+  const auto result = db->RunSimilarity(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->matches.empty());
+  EXPECT_EQ(result->ids.size(), result->matches.size());
+  for (const SimilarityMatch& match : result->matches) {
+    EXPECT_LE(match.distance_lo, match.distance_hi);
+    EXPECT_GE(match.distance_lo, 0.0);
+    EXPECT_LE(match.distance_hi, 2.0);
+    if (match.exact) {
+      EXPECT_EQ(match.distance_lo, match.distance_hi);
+    }
+  }
+  // Sorted by optimistic distance, ids break ties.
+  for (size_t i = 1; i < result->matches.size(); ++i) {
+    EXPECT_GE(result->matches[i].distance_lo,
+              result->matches[i - 1].distance_lo);
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

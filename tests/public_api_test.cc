@@ -1,8 +1,8 @@
-// Compile-time check of the umbrella split: with MMDB_PUBLIC_API_ONLY
-// the public surface (`mmdb.h` without the deprecated internals
-// passthrough) must be self-contained — and rich enough to open a
-// database, run a service query, and speak the wire protocol.
-#define MMDB_PUBLIC_API_ONLY
+// Compile-time check of the umbrella split: the public surface
+// (`mmdb.h`, now always the lean umbrella — the deprecated internals
+// passthrough and its MMDB_PUBLIC_API_ONLY opt-out are retired) must be
+// self-contained — and rich enough to open a database, run a service
+// query, and speak the wire protocol.
 #include "mmdb.h"
 
 #include "gtest/gtest.h"
@@ -27,6 +27,16 @@ TEST(PublicApiTest, LeanSurfaceCoversTheQueryLifecycle) {
   const Result<net::Frame> frame = net::ParseFrame(payload);
   ASSERT_TRUE(frame.ok());
   EXPECT_TRUE(net::DecodeExecuteRequest(*frame).ok());
+
+  // Top-k similarity is part of the lean surface too.
+  SimilarityQuery nearest;
+  nearest.histogram = ColorHistogram(db->quantizer().BinCount());
+  nearest.histogram.Add(0, 1);
+  nearest.k = 5;
+  const Result<QueryResult> matches =
+      service.Execute(QueryRequest::Similarity(nearest));
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  EXPECT_TRUE(matches->ids.empty());  // Empty database, empty answer.
 }
 
 }  // namespace

@@ -53,10 +53,15 @@ std::vector<QueryRequest> MixedWorkload(const MultimediaDatabase& db,
 /// The serial answer the batched one must reproduce exactly.
 Result<QueryResult> RunSerial(const MultimediaDatabase& db,
                               const QueryRequest& request) {
-  if (request.range.has_value()) {
-    return db.RunRange(*request.range, request.method);
+  switch (request.kind()) {
+    case QueryKind::kRange:
+      return db.RunRange(*request.range(), request.method);
+    case QueryKind::kConjunctive:
+      return db.RunConjunctive(*request.conjunctive(), request.method);
+    case QueryKind::kSimilarity:
+      return db.RunSimilarity(*request.similarity());
   }
-  return db.RunConjunctive(*request.conjunctive, request.method);
+  return Status::Internal("unreachable");
 }
 
 void ExpectSameStats(const QueryStats& a, const QueryStats& b) {
@@ -199,8 +204,9 @@ TEST(QueryServiceTest, MalformedAndFailingRequestsAreCounted) {
   auto db = MakeDataset(10, 2401);
   QueryService service(db.get(), QueryServiceOptions{2, {}});
 
-  QueryRequest empty;  // Neither range nor conjunctive.
-  auto result = service.Execute(empty);
+  // An empty conjunction is rejected by every processor.
+  auto result = service.Execute(
+      QueryRequest::Conjunctive(ConjunctiveQuery{}, QueryMethod::kRbm));
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 
@@ -209,9 +215,62 @@ TEST(QueryServiceTest, MalformedAndFailingRequestsAreCounted) {
   result = service.Execute(QueryRequest::Range(bad_bin, QueryMethod::kRbm));
   EXPECT_FALSE(result.ok());
 
+  // A similarity request with mismatched histogram arity fails too.
+  SimilarityQuery bad_similarity;
+  bad_similarity.histogram = ColorHistogram(db->quantizer().BinCount() + 1);
+  bad_similarity.histogram.Add(0, 1);
+  result = service.Execute(QueryRequest::Similarity(bad_similarity));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
   const auto snapshot = service.Snapshot();
-  EXPECT_EQ(snapshot.queries, 2);
-  EXPECT_EQ(snapshot.failed_queries, 2);
+  EXPECT_EQ(snapshot.queries, 3);
+  EXPECT_EQ(snapshot.failed_queries, 3);
+  EXPECT_EQ(snapshot.similarity_queries, 1);
+}
+
+TEST(QueryServiceTest, DefaultRequestIsMatchAllRange) {
+  // A default-constructed request is the widest range query: bin 0 over
+  // [0, 1] — valid, matches every image.
+  auto db = MakeDataset(10, 2405);
+  QueryService service(db.get(), QueryServiceOptions{2, {}});
+  QueryRequest request;
+  auto result = service.Execute(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ids.size(), db->collection().BinaryCount() +
+                                    db->collection().EditedCount());
+}
+
+TEST(QueryServiceTest, SimilarityThroughServiceMatchesFacade) {
+  auto db = MakeDataset(40, 2407);
+  QueryService service(db.get(), QueryServiceOptions{2, {}});
+
+  SimilarityQuery query;
+  query.histogram = ColorHistogram(db->quantizer().BinCount());
+  query.histogram.Add(db->BinOf(colors::kBlue), 3);
+  query.histogram.Add(db->BinOf(colors::kWhite), 1);
+  query.k = 7;
+
+  const auto direct = db->RunSimilarity(query);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  const auto served = service.Execute(QueryRequest::Similarity(query));
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  EXPECT_EQ(direct->ids, served->ids);
+  ASSERT_EQ(direct->matches.size(), served->matches.size());
+  for (size_t i = 0; i < direct->matches.size(); ++i) {
+    EXPECT_EQ(direct->matches[i].id, served->matches[i].id);
+    EXPECT_EQ(direct->matches[i].distance_lo, served->matches[i].distance_lo);
+    EXPECT_EQ(direct->matches[i].distance_hi, served->matches[i].distance_hi);
+    EXPECT_EQ(direct->matches[i].exact, served->matches[i].exact);
+  }
+  // The contract is no-false-negatives: the candidate set may exceed k
+  // when edited images' intervals straddle the cutoff, never undershoot
+  // it (while enough images exist).
+  EXPECT_GE(served->ids.size(), 7u);
+
+  const auto snapshot = service.Snapshot();
+  EXPECT_EQ(snapshot.similarity_queries, 1);
 }
 
 TEST(QueryServiceTest, PrintableSnapshot) {

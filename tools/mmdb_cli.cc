@@ -16,6 +16,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/database.h"
@@ -47,10 +48,11 @@ int Usage() {
       "                               translate:dx,dy | rotate:deg[,cx,cy]\n"
       "                               | matrix:m11..m33 | merge:target,x,y\n"
       "  query <#rrggbb|bin> <min> <max> "
-      "[--method=rbm|bwm|bwmx|prbm|inst]\n"
-      "  queryx \"<expr>\"             predicate expression, e.g.\n"
+      "[--method=rbm|bwm|bwmx|prbm|inst|planned]\n"
+      "  queryx \"<expr>\"             query expression, e.g.\n"
       "                               \"color('#0038a8') >= 25% and "
       "color('#ffffff') <= 10%\"\n"
+      "                               or \"nearest(blue, 10)\" for top-k\n"
       "  get <id> <out.ppm>           export an image (instantiates "
       "edited ones)\n"
       "  describe <id>                print catalog info / script dump\n"
@@ -146,9 +148,11 @@ int CmdQuery(MultimediaDatabase& db, const std::vector<std::string>& args) {
       method = QueryMethod::kParallelRbm;
     } else if (args[i] == "--method=inst") {
       method = QueryMethod::kInstantiate;
+    } else if (args[i] == "--method=planned") {
+      method = QueryMethod::kPlanned;
     } else {
       std::cerr << "error: unknown option '" << args[i]
-                << "' (expected --method=rbm|bwm|bwmx|prbm|inst)\n";
+                << "' (expected --method=rbm|bwm|bwmx|prbm|inst|planned)\n";
       return 1;
     }
   }
@@ -165,9 +169,23 @@ int CmdQuery(MultimediaDatabase& db, const std::vector<std::string>& args) {
 }
 
 int CmdQueryExpression(MultimediaDatabase& db, const std::string& text) {
-  Result<ConjunctiveQuery> query = ParseQuery(text, db.quantizer());
-  if (!query.ok()) return Fail(query.status());
-  Result<QueryResult> result = db.RunConjunctive(*query, QueryMethod::kBwm);
+  Result<ParsedQuery> parsed = ParseQueryExpression(text, db.quantizer());
+  if (!parsed.ok()) return Fail(parsed.status());
+  if (const auto* nearest = std::get_if<SimilarityQuery>(&*parsed)) {
+    Result<QueryResult> result = db.RunSimilarity(*nearest);
+    if (!result.ok()) return Fail(result.status());
+    std::cout << result->matches.size()
+              << " candidates (provably contain the true " << nearest->k
+              << " nearest):\n";
+    for (const SimilarityMatch& match : result->matches) {
+      std::cout << "  #" << match.id << "  d=[" << match.distance_lo << ", "
+                << match.distance_hi << "]" << (match.exact ? "  exact" : "")
+                << "\n";
+    }
+    return 0;
+  }
+  const ConjunctiveQuery& query = std::get<ConjunctiveQuery>(*parsed);
+  Result<QueryResult> result = db.RunConjunctive(query, QueryMethod::kBwm);
   if (!result.ok()) return Fail(result.status());
   std::cout << result->ids.size() << " matches:";
   for (ObjectId id : result->ids) std::cout << " #" << id;

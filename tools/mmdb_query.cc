@@ -4,14 +4,18 @@
 //   mmdb_query "color('#0038a8') >= 0.25"
 //   mmdb_query --port 9000 --method rbm "color(12) <= 0.1"
 //   mmdb_query --deadline-ms 50 --repeat 100 "color('#cc0000') >= 0.2"
+//   mmdb_query "nearest(blue, 10)"
+//   mmdb_query --explain "color(blue) >= 25% and color(white) <= 0.1"
 //
 // The server's quantizer shape is fetched first (kInfoRequest), so the
 // expression is parsed against the exact bins the server stores —
 // a remote query resolves colors identically to an embedded one.
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <variant>
 
 #include "core/cancel.h"
 #include "core/quantizer.h"
@@ -29,13 +33,16 @@ int Usage() {
          "  --host ADDR       server address (default 127.0.0.1)\n"
          "  --port N          server port (default 7117)\n"
          "  --method NAME     instantiate | rbm | bwm | bwm-indexed |\n"
-         "                    parallel-rbm (default bwm)\n"
+         "                    parallel-rbm | planned (default bwm)\n"
          "  --deadline-ms N   per-query wire deadline (default none)\n"
          "  --repeat N        send the query N times (default 1)\n"
+         "  --explain         print the server's query plan, don't run\n"
          "  --quiet           print counts and timing only, no ids\n"
          "\n"
-         "EXPRESSION is a color predicate, e.g.\n"
-         "  \"color('#0038a8') >= 0.25 and color('#ffffff') <= 0.1\"\n";
+         "EXPRESSION is a color predicate conjunction or a top-k\n"
+         "similarity request, e.g.\n"
+         "  \"color('#0038a8') >= 0.25 and color('#ffffff') <= 0.1\"\n"
+         "  \"nearest(blue, 10)\"\n";
   return 2;
 }
 
@@ -45,6 +52,7 @@ int Run(int argc, char** argv) {
   std::string method_name = "bwm";
   int64_t deadline_ms = 0;
   int repeat = 1;
+  bool explain = false;
   bool quiet = false;
   std::string expression;
 
@@ -64,6 +72,8 @@ int Run(int argc, char** argv) {
       deadline_ms = std::atoll(value);
     } else if (arg == "--repeat" && (value = next())) {
       repeat = std::atoi(value);
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] != '-' && expression.empty()) {
@@ -78,7 +88,8 @@ int Run(int argc, char** argv) {
   bool method_found = false;
   for (QueryMethod m :
        {QueryMethod::kInstantiate, QueryMethod::kRbm, QueryMethod::kBwm,
-        QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm}) {
+        QueryMethod::kBwmIndexed, QueryMethod::kParallelRbm,
+        QueryMethod::kPlanned}) {
     if (method_name == QueryMethodName(m)) {
       method = m;
       method_found = true;
@@ -112,32 +123,64 @@ int Run(int argc, char** argv) {
               << ColorSpaceName(quantizer.space()) << ")\n";
   }
 
-  Result<ConjunctiveQuery> parsed = ParseQuery(expression, quantizer);
+  Result<ParsedQuery> parsed = ParseQueryExpression(expression, quantizer);
   if (!parsed.ok()) {
     std::cerr << "mmdb_query: " << parsed.status().ToString() << "\n";
     return 1;
   }
+  const bool similarity = std::holds_alternative<SimilarityQuery>(*parsed);
 
-  for (int iteration = 0; iteration < repeat; ++iteration) {
-    QueryRequest request = QueryRequest::Conjunctive(*parsed, method);
+  auto make_request = [&]() {
+    QueryRequest request =
+        similarity
+            ? QueryRequest::Similarity(std::get<SimilarityQuery>(*parsed))
+            : QueryRequest::Conjunctive(std::get<ConjunctiveQuery>(*parsed),
+                                        method);
     if (deadline_ms > 0) {
       request.deadline =
           Deadline::After(static_cast<double>(deadline_ms) / 1000.0);
     }
+    return request;
+  };
+
+  if (explain) {
+    Result<std::string> plan = client->Explain(make_request());
+    if (!plan.ok()) {
+      std::cerr << "mmdb_query: " << plan.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << *plan;
+    if (!plan->empty() && plan->back() != '\n') std::cout << "\n";
+    return 0;
+  }
+
+  for (int iteration = 0; iteration < repeat; ++iteration) {
     Stopwatch watch;
-    Result<QueryResult> result = client->Execute(request);
+    Result<QueryResult> result = client->Execute(make_request());
     const double elapsed = watch.ElapsedSeconds();
     if (!result.ok()) {
       std::cerr << "mmdb_query: " << result.status().ToString() << "\n";
       return 1;
     }
     std::cout << result->ids.size() << " matches in " << elapsed * 1e3
-              << " ms (" << QueryMethodName(method) << ", "
+              << " ms ("
+              << (similarity ? "similarity" : QueryMethodName(method)) << ", "
               << result->stats.binary_images_checked
               << " histograms checked, " << result->stats.edited_images_bounded
               << " scripts bounded)\n";
     if (!quiet) {
-      for (ObjectId id : result->ids) std::cout << "  " << id << "\n";
+      if (similarity) {
+        for (const SimilarityMatch& match : result->matches) {
+          char line[128];
+          std::snprintf(line, sizeof(line), "  %llu  d=[%.6f, %.6f]%s",
+                        static_cast<unsigned long long>(match.id),
+                        match.distance_lo, match.distance_hi,
+                        match.exact ? " exact" : "");
+          std::cout << line << "\n";
+        }
+      } else {
+        for (ObjectId id : result->ids) std::cout << "  " << id << "\n";
+      }
     }
   }
   return 0;
