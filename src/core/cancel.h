@@ -49,6 +49,18 @@ class Deadline {
     return std::chrono::duration<double>(at_ - Clock::now()).count();
   }
 
+  /// Carves a sub-deadline out of `parent`: expires once `fraction` of
+  /// the parent's *remaining* time has elapsed. An infinite parent stays
+  /// infinite; an expired one yields an already-expired budget. The
+  /// scatter-gather coordinator uses this to give every shard a slice of
+  /// the query deadline while reserving the tail for the merge.
+  static Deadline Budget(const Deadline& parent, double fraction) {
+    if (parent.IsInfinite()) return parent;
+    double remaining = parent.RemainingSeconds();
+    if (remaining < 0.0) remaining = 0.0;
+    return After(remaining * fraction);
+  }
+
   Clock::time_point time_point() const { return at_; }
 
  private:

@@ -42,6 +42,14 @@
 #include "net/server.h"
 #include "net/status_codes.h"
 
+// Fault-tolerant sharded corpus: partitioning, scatter-gather
+// coordination with hedged retries and partial results, shard health.
+#include "shard/backend.h"
+#include "shard/coordinator.h"
+#include "shard/health.h"
+#include "shard/partition.h"
+#include "shard/sharded_db.h"
+
 // Image substrate and the editing-operation model (the public face:
 // building images and edit scripts to store).
 #include "editops/dsl.h"

@@ -1,22 +1,87 @@
 #include "net/client.h"
 
 #include <algorithm>
+#include <chrono>
+#include <random>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mmdb::net {
+
+namespace {
+
+obs::Counter* ReconnectsTotal() {
+  static obs::Counter* const counter = obs::Registry::Default().GetCounter(
+      "mmdb_net_client_reconnects_total",
+      "Re-dial attempts made by net::Client after a transient connect "
+      "failure or a dropped connection (ECONNRESET, server restart).");
+  return counter;
+}
+
+}  // namespace
 
 Result<Client> Client::Connect(const std::string& host, int port,
                                ClientOptions options) {
   Client client;
   client.options_ = options;
-  MMDB_ASSIGN_OR_RETURN(client.socket_, Socket::ConnectTcp(host, port));
+  client.host_ = host;
+  client.port_ = port;
+  Result<Socket> socket = Socket::ConnectTcp(host, port);
+  for (int retry = 1; !socket.ok() && retry <= options.connect_retries;
+       ++retry) {
+    client.SleepBackoff(retry);
+    ReconnectsTotal()->Increment();
+    socket = Socket::ConnectTcp(host, port);
+  }
+  MMDB_ASSIGN_OR_RETURN(client.socket_, std::move(socket));
   return client;
+}
+
+void Client::SleepBackoff(int retry) const {
+  // The PR-4 storage retry idiom (storage/disk_manager.cc): exponential
+  // growth per attempt, jittered so synchronized clients of a restarted
+  // server spread out instead of re-dialing in lockstep.
+  double delay = options_.retry_backoff_seconds;
+  for (int i = 1; i < retry; ++i) delay *= options_.retry_backoff_multiplier;
+  if (options_.retry_jitter_fraction > 0.0) {
+    thread_local std::mt19937_64 rng(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) ^
+        0x6d6d64625f6e6574ULL);
+    std::uniform_real_distribution<double> jitter(
+        1.0 - options_.retry_jitter_fraction,
+        1.0 + options_.retry_jitter_fraction);
+    delay *= jitter(rng);
+  }
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+Status Client::Reconnect() {
+  Close();
+  ReconnectsTotal()->Increment();
+  MMDB_ASSIGN_OR_RETURN(socket_, Socket::ConnectTcp(host_, port_));
+  return Status::OK();
 }
 
 Result<Frame> Client::RoundTrip(std::string_view payload) {
   if (!connected()) {
-    return Status::IoError("client is not connected");
+    // A previous RPC dropped the connection (or the caller closed it):
+    // transparently re-dial when the options allow it, so long-lived
+    // clients survive a server restart between requests.
+    if (options_.connect_retries <= 0 || host_.empty()) {
+      return Status::IoError("client is not connected");
+    }
+    Status redial = Reconnect();
+    for (int retry = 1; !redial.ok() && retry <= options_.connect_retries;
+         ++retry) {
+      SleepBackoff(retry);
+      redial = Reconnect();
+    }
+    MMDB_RETURN_IF_ERROR(redial);
   }
   Status sent = WriteFrame(socket_, payload);
   if (!sent.ok()) {
@@ -34,7 +99,26 @@ Result<Frame> Client::RoundTrip(std::string_view payload) {
   return frame;
 }
 
-Result<QueryResult> Client::Execute(const QueryRequest& request) {
+Result<QueryResult> Client::Execute(const QueryRequest& request,
+                                    Completeness* completeness) {
+  Result<QueryResult> result = ExecuteOnce(request, completeness);
+  // Retry only transport-level failures — those drop the connection
+  // (`connected()` turns false). A typed error frame from the server
+  // leaves the stream intact and is the RPC's real answer, never
+  // retried. Queries are read-only, so a resend is safe.
+  for (int retry = 1;
+       !result.ok() && !connected() && retry <= options_.connect_retries;
+       ++retry) {
+    SleepBackoff(retry);
+    if (!Reconnect().ok()) continue;
+    result = ExecuteOnce(request, completeness);
+  }
+  return result;
+}
+
+Result<QueryResult> Client::ExecuteOnce(const QueryRequest& request,
+                                        Completeness* completeness) {
+  if (completeness != nullptr) *completeness = Completeness{};
   if (!connected()) {
     return Status::IoError("client is not connected");
   }
@@ -91,6 +175,10 @@ Result<QueryResult> Client::Execute(const QueryRequest& request) {
           for (size_t i = 0; i < result.matches.size(); ++i) {
             result.matches[i].id = result.ids[i];
           }
+        }
+        if (completeness != nullptr) {
+          completeness->complete = done.complete;
+          completeness->shard_errors = std::move(done.shard_errors);
         }
         if (timed) MMDB_RETURN_IF_ERROR(socket_.SetRecvTimeout(0));
         return result;
@@ -152,6 +240,21 @@ Status Client::Ping() {
                             std::to_string(frame->raw_type));
   }
   return Status::OK();
+}
+
+Result<HealthInfo> Client::Health() {
+  MMDB_ASSIGN_OR_RETURN(Frame frame, RoundTrip(EncodeHealthRequest()));
+  if (frame.type() == FrameType::kError) {
+    Status error;
+    MMDB_RETURN_IF_ERROR(DecodeError(frame, &error));
+    return error;
+  }
+  if (frame.type() != FrameType::kHealthResponse) {
+    Close();
+    return Status::Internal("expected a health response, got frame type " +
+                            std::to_string(frame.raw_type));
+  }
+  return DecodeHealthResponse(frame);
 }
 
 }  // namespace mmdb::net

@@ -19,6 +19,29 @@ struct ClientOptions {
   /// DeadlineExceeded itself; the grace covers a dead server). 0 waits
   /// forever.
   double deadline_grace_seconds = 2.0;
+  /// Transparent reconnection on transient transport failure (connect
+  /// refused, ECONNRESET, a server restart between requests): how many
+  /// times `Connect` / an RPC will re-dial before giving up. 0 keeps
+  /// the PR-5 behavior — one connection, fail fast. Each re-dial counts
+  /// in `mmdb_net_client_reconnects_total`. Queries are read-only, so a
+  /// reconnect-and-resend never double-applies anything.
+  int connect_retries = 0;
+  /// First re-dial delay; grows by `retry_backoff_multiplier` per
+  /// attempt and is jittered by ±`retry_jitter_fraction` so a fleet of
+  /// clients re-dialing a restarted shard spreads out instead of
+  /// stampeding (the PR-4 storage retry idiom).
+  double retry_backoff_seconds = 0.02;
+  double retry_backoff_multiplier = 2.0;
+  double retry_jitter_fraction = 0.25;
+};
+
+/// Out-slot for `Execute`: whether the answer covered the whole corpus,
+/// plus the typed per-shard errors when it did not (the protocol v3
+/// partial-result trailer a scatter-gather coordinator emits). A
+/// single-store server always reports `complete == true`.
+struct Completeness {
+  bool complete = true;
+  std::vector<WireShardError> shard_errors;
 };
 
 /// A blocking remote handle to a `QueryServer`: `Execute` takes the
@@ -48,7 +71,13 @@ class Client {
   /// milliseconds and is enforced by the server exactly like an
   /// embedded deadline; `request.cancel` is local-only (closing the
   /// client cancels server-side via the disconnect watcher).
-  Result<QueryResult> Execute(const QueryRequest& request);
+  ///
+  /// `completeness` (optional) receives the v3 partial-result trailer:
+  /// against a sharded coordinator a degraded answer comes back OK with
+  /// `complete == false` and the failed shards itemized — never as a
+  /// hung socket or a silently truncated id stream.
+  Result<QueryResult> Execute(const QueryRequest& request,
+                              Completeness* completeness = nullptr);
 
   /// Renders the server-side execution plan for `request` without
   /// running it — the same text `ExplainQuery` produces embedded.
@@ -62,6 +91,10 @@ class Client {
   /// Round-trips a ping frame.
   Status Ping();
 
+  /// Probes the server's serving state (protocol v3). Sharded servers
+  /// also report per-shard circuit-breaker states.
+  Result<HealthInfo> Health();
+
   void Close() { socket_.Close(); }
 
  private:
@@ -69,8 +102,22 @@ class Client {
   /// drops the connection on transport failure.
   Result<Frame> RoundTrip(std::string_view payload);
 
+  /// One Execute attempt on the current connection.
+  Result<QueryResult> ExecuteOnce(const QueryRequest& request,
+                                  Completeness* completeness);
+
+  /// Re-dials the remembered endpoint (counted in
+  /// `mmdb_net_client_reconnects_total`).
+  Status Reconnect();
+
+  /// Sleeps the jittered exponential-backoff delay before re-dial
+  /// number `retry` (1-based).
+  void SleepBackoff(int retry) const;
+
   Socket socket_;
   ClientOptions options_;
+  std::string host_;
+  int port_ = 0;
   std::string response_buffer_;
 };
 

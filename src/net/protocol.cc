@@ -302,8 +302,14 @@ Status DecodeResultChunk(const Frame& frame, std::vector<ObjectId>* ids) {
       });
 }
 
+Status WireShardError::ToStatus() const {
+  return StatusFromWire(wire_code, message);
+}
+
 std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids,
-                             std::span<const SimilarityMatch> matches) {
+                             std::span<const SimilarityMatch> matches,
+                             bool complete,
+                             std::span<const WireShardError> shard_errors) {
   WireWriter w = BeginFrame(FrameType::kResultDone);
   {
     // The stats blob is an ordered run of i64 counters. Appending a new
@@ -333,6 +339,24 @@ std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids,
       f.PutU8(match.exact ? 1 : 0);
     }
     w.PutField(tag::kIntervals, f.data());
+  }
+  if (!complete || !shard_errors.empty()) {
+    // v3 partial-result trailer. Only emitted when there is something to
+    // say, so a healthy single-store stream stays byte-identical to v2.
+    {
+      WireWriter f;
+      f.PutU8(complete ? 1 : 0);
+      w.PutField(tag::kComplete, f.data());
+    }
+    WireWriter f;
+    f.PutU32(static_cast<uint32_t>(shard_errors.size()));
+    for (const WireShardError& error : shard_errors) {
+      f.PutU32(error.shard);
+      f.PutU16(error.wire_code);
+      f.PutU32(static_cast<uint32_t>(error.message.size()));
+      f.PutBytes(error.message);
+    }
+    w.PutField(tag::kShardErrors, f.data());
   }
   return w.Take();
 }
@@ -385,6 +409,33 @@ Result<ResultDone> DecodeResultDone(const Frame& frame) {
               }
               match.exact = exact != 0;
               done.matches.push_back(match);
+            }
+            return Status::OK();
+          }
+          case tag::kComplete: {
+            uint8_t complete;
+            if (!f.GetU8(&complete)) {
+              return Status::InvalidArgument("truncated complete field");
+            }
+            done.complete = complete != 0;
+            return Status::OK();
+          }
+          case tag::kShardErrors: {
+            uint32_t count;
+            if (!f.GetU32(&count)) {
+              return Status::InvalidArgument("truncated shard-error count");
+            }
+            for (uint32_t i = 0; i < count; ++i) {
+              WireShardError error;
+              uint32_t length;
+              std::string_view message;
+              if (!f.GetU32(&error.shard) || !f.GetU16(&error.wire_code) ||
+                  !f.GetU32(&length) || !f.GetBytes(length, &message)) {
+                return Status::InvalidArgument(
+                    "truncated shard-error list");
+              }
+              error.message.assign(message);
+              done.shard_errors.push_back(std::move(error));
             }
             return Status::OK();
           }
@@ -502,6 +553,62 @@ Result<ServerInfo> DecodeInfoResponse(const Frame& frame) {
 
 std::string EncodePing() { return BeginFrame(FrameType::kPing).Take(); }
 std::string EncodePong() { return BeginFrame(FrameType::kPong).Take(); }
+
+std::string EncodeHealthRequest() {
+  return BeginFrame(FrameType::kHealthRequest).Take();
+}
+
+std::string EncodeHealthResponse(const HealthInfo& info) {
+  WireWriter w = BeginFrame(FrameType::kHealthResponse);
+  {
+    WireWriter f;
+    f.PutU8(info.serving);
+    w.PutField(tag::kServing, f.data());
+  }
+  if (!info.shard_states.empty()) {
+    WireWriter f;
+    f.PutU32(static_cast<uint32_t>(info.shard_states.size()));
+    for (uint8_t state : info.shard_states) f.PutU8(state);
+    w.PutField(tag::kShardStates, f.data());
+  }
+  return w.Take();
+}
+
+Result<HealthInfo> DecodeHealthResponse(const Frame& frame) {
+  HealthInfo info;
+  Status walk = ForEachField(
+      frame.fields,
+      [&](uint16_t field_tag, std::string_view payload) -> Status {
+        WireReader f(payload);
+        switch (field_tag) {
+          case tag::kServing:
+            if (!f.GetU8(&info.serving)) {
+              return Status::InvalidArgument("truncated serving field");
+            }
+            return Status::OK();
+          case tag::kShardStates: {
+            uint32_t count;
+            if (!f.GetU32(&count)) {
+              return Status::InvalidArgument("truncated shard-state count");
+            }
+            info.shard_states.reserve(count);
+            for (uint32_t i = 0; i < count; ++i) {
+              uint8_t state;
+              if (!f.GetU8(&state)) {
+                return Status::InvalidArgument(
+                    "truncated shard-state list");
+              }
+              info.shard_states.push_back(state);
+            }
+            return Status::OK();
+          }
+          default:
+            return Status::OK();
+        }
+      });
+  MMDB_RETURN_IF_ERROR(walk);
+  return info;
+}
 
 std::string EncodeExplainResponse(std::string_view plan_text) {
   WireWriter w = BeginFrame(FrameType::kExplainResponse);

@@ -38,7 +38,15 @@ inline constexpr uint32_t kMagic = 0x42444d4d;  // "MMDB" read little-endian.
 /// frames (types 9/10), and wire method code 5 (planned). v1 peers
 /// interoperate untouched — every addition is a new tag, frame type, or
 /// code.
-inline constexpr uint16_t kProtocolVersion = 2;
+///
+/// v3 appended: the partial-result trailer (tags 4/5 on kResultDone —
+/// a `complete` flag plus typed per-shard errors from a scatter-gather
+/// coordinator), the health-probe frames (types 11/12), and wire status
+/// code 13 (Unavailable). A v2 peer skips the new trailer tags and sees
+/// the merged ids/stats exactly as before — partiality degrades to
+/// silence only for peers that predate the concept, never for current
+/// ones.
+inline constexpr uint16_t kProtocolVersion = 3;
 inline constexpr uint16_t kMinProtocolVersion = 1;
 
 /// Frame header size: magic + version + type.
@@ -71,6 +79,13 @@ enum class FrameType : uint16_t {
   kExplainRequest = 9,
   /// Server -> client: the plan text.
   kExplainResponse = 10,
+  /// Client -> server: liveness + serving-state probe (no fields). The
+  /// shard coordinator uses it to test an ejected shard before letting
+  /// it back into fan-out; unlike kPing the response carries state.
+  kHealthRequest = 11,
+  /// Server -> client: serving state, and per-shard breaker states when
+  /// the server fronts a sharded corpus.
+  kHealthResponse = 12,
 };
 
 /// A decoded frame header plus its raw tagged-field region. Frame-type
@@ -102,8 +117,20 @@ inline constexpr uint16_t kTotalIds = 2;  ///< u64 ids across all chunks.
 inline constexpr uint16_t kIntervals = 3;  ///< per id: f64 lo, f64 hi, u8
                                            ///< exact — aligned with the id
                                            ///< stream (similarity only).
+inline constexpr uint16_t kComplete = 4;   ///< u8 flag; absent means 1
+                                           ///< (a v2 peer's streams are
+                                           ///< always complete).
+inline constexpr uint16_t kShardErrors = 5;  ///< u32 count, then per error:
+                                             ///< u32 shard, u16 wire code,
+                                             ///< u32 len, UTF-8 message.
 // kExplainResponse
 inline constexpr uint16_t kPlanText = 1;  ///< UTF-8 plan rendering.
+// kHealthResponse
+inline constexpr uint16_t kServing = 1;      ///< u8: 1 while serving.
+inline constexpr uint16_t kShardStates = 2;  ///< u32 count + count u8
+                                             ///< `ShardWireState`s, by
+                                             ///< shard index (sharded
+                                             ///< servers only).
 // kError
 inline constexpr uint16_t kCode = 1;     ///< u16 WireStatusCode.
 inline constexpr uint16_t kMessage = 2;  ///< UTF-8 text.
@@ -113,6 +140,33 @@ inline constexpr uint16_t kColorSpace = 2;     ///< u8 ColorSpace value.
 inline constexpr uint16_t kImageCount = 3;     ///< u64 stored images.
 inline constexpr uint16_t kServerVersion = 4;  ///< u16 protocol version.
 }  // namespace tag
+
+/// One shard's typed failure inside a partial result, as it crosses the
+/// wire: which shard, the wire form of its `Status`, and the message.
+struct WireShardError {
+  uint32_t shard = 0;
+  uint16_t wire_code = 0;
+  std::string message;
+
+  /// The reconstructed in-memory status.
+  Status ToStatus() const;
+};
+
+/// On-wire circuit-breaker state of one shard (kHealthResponse). Values
+/// are protocol constants — append-only like every other code space.
+enum class ShardWireState : uint8_t {
+  kServing = 0,    ///< Breaker closed, shard in fan-out.
+  kEjected = 1,    ///< Breaker open, shard skipped until probed.
+  kProbing = 2,    ///< Half-open: one trial request in flight.
+};
+
+/// What `kHealthResponse` carries.
+struct HealthInfo {
+  /// 1 while the server is accepting queries.
+  uint8_t serving = 0;
+  /// Per-shard breaker states, empty for an unsharded server.
+  std::vector<uint8_t> shard_states;
+};
 
 /// What `kInfoResponse` carries.
 struct ServerInfo {
@@ -130,6 +184,11 @@ struct ResultDone {
   QueryStats stats;
   uint64_t total_ids = 0;
   std::vector<SimilarityMatch> matches;
+  /// False when a coordinator answered from a subset of shards; the
+  /// failed shards are itemized in `shard_errors`. Defaults true — a
+  /// single-store server never sends the tag.
+  bool complete = true;
+  std::vector<WireShardError> shard_errors;
 };
 
 /// Splits a payload into header + field region, validating magic and
@@ -152,9 +211,13 @@ std::string EncodeExecuteRequest(const QueryRequest& request,
 std::string EncodeResultChunk(std::span<const ObjectId> ids);
 /// `matches` (when non-empty) becomes the interval trailer; intervals
 /// travel as raw IEEE-754 bit patterns, so a loopback round trip is
-/// bit-identical to the embedded result.
+/// bit-identical to the embedded result. `complete=false` (v3) appends
+/// the partial-result trailer: the flag plus `shard_errors` itemizing
+/// which shards failed and why.
 std::string EncodeResultDone(const QueryStats& stats, uint64_t total_ids,
-                             std::span<const SimilarityMatch> matches = {});
+                             std::span<const SimilarityMatch> matches = {},
+                             bool complete = true,
+                             std::span<const WireShardError> shard_errors = {});
 /// `status` must be non-OK.
 std::string EncodeError(const Status& status);
 std::string EncodeInfoRequest();
@@ -166,6 +229,8 @@ std::string EncodePong();
 std::string EncodeExplainRequest(const QueryRequest& request,
                                  uint16_t version = kProtocolVersion);
 std::string EncodeExplainResponse(std::string_view plan_text);
+std::string EncodeHealthRequest();
+std::string EncodeHealthResponse(const HealthInfo& info);
 
 // --- Decoders (frame-type specific, over Frame::fields) ---------------
 
@@ -189,6 +254,8 @@ Result<ServerInfo> DecodeInfoResponse(const Frame& frame);
 
 /// Extracts the plan text of a kExplainResponse frame.
 Result<std::string> DecodeExplainResponse(const Frame& frame);
+
+Result<HealthInfo> DecodeHealthResponse(const Frame& frame);
 
 /// The wire code for a `QueryMethod` and back. Like status codes these
 /// are append-only protocol constants decoupled from the enum.

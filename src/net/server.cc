@@ -12,6 +12,7 @@
 #include "core/plan.h"
 #include "net/protocol.h"
 #include "net/status_codes.h"
+#include "shard/coordinator.h"
 #include "util/stopwatch.h"
 
 #ifndef POLLRDHUP
@@ -220,12 +221,21 @@ bool QueryServer::HandleFrame(Socket& socket, std::string_view payload) {
       info.protocol_version = kProtocolVersion;
       return SendTracked(socket, EncodeInfoResponse(info)).ok();
     }
+    case FrameType::kHealthRequest: {
+      HealthInfo health;
+      health.serving = stopping_.load() ? 0 : 1;
+      if (coordinator_ != nullptr) {
+        health.shard_states = coordinator_->health().WireStates();
+      }
+      return SendTracked(socket, EncodeHealthResponse(health)).ok();
+    }
     case FrameType::kResultChunk:
     case FrameType::kResultDone:
     case FrameType::kError:
     case FrameType::kInfoResponse:
     case FrameType::kPong:
     case FrameType::kExplainResponse:
+    case FrameType::kHealthResponse:
       // Response types arriving at the server: a confused peer. Typed
       // error, connection stays up (framing is intact).
       return SendError(
@@ -261,7 +271,31 @@ bool QueryServer::HandleExecute(Socket& socket, const Frame& frame) {
     std::lock_guard<std::mutex> lock(mu_);
     watched_.push_back(Watched{socket.fd(), disconnect});
   }
-  Result<QueryResult> result = service_->Execute(request);
+  // In sharded serving mode the coordinator fans the request out and
+  // merges; a degraded answer comes back OK with completeness metadata
+  // for the v3 trailer instead of an error.
+  Result<QueryResult> result = Status::Internal("unreached");
+  bool complete = true;
+  std::vector<WireShardError> shard_errors;
+  if (coordinator_ != nullptr) {
+    Result<shard::ShardedResult> sharded = coordinator_->Execute(request);
+    if (sharded.ok()) {
+      complete = sharded->complete;
+      shard_errors.reserve(sharded->shard_errors.size());
+      for (const shard::ShardError& error : sharded->shard_errors) {
+        WireShardError wire;
+        wire.shard = error.shard;
+        wire.wire_code = static_cast<uint16_t>(ToWireCode(error.status.code()));
+        wire.message = error.status.message();
+        shard_errors.push_back(std::move(wire));
+      }
+      result = std::move(sharded->result);
+    } else {
+      result = sharded.status();
+    }
+  } else {
+    result = service_->Execute(request);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     watched_.erase(
@@ -289,7 +323,8 @@ bool QueryServer::HandleExecute(Socket& socket, const Frame& frame) {
     if (alive) {
       alive = SendTracked(socket,
                           EncodeResultDone(result->stats, ids.size(),
-                                           result->matches))
+                                           result->matches, complete,
+                                           shard_errors))
                   .ok();
     }
   }

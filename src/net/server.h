@@ -17,6 +17,10 @@
 #include "obs/metrics.h"
 #include "util/result.h"
 
+namespace mmdb::shard {
+class Coordinator;
+}  // namespace mmdb::shard
+
 namespace mmdb::net {
 
 /// Sizing and placement of a `QueryServer`.
@@ -84,6 +88,18 @@ class QueryServer {
   /// Idempotent.
   void Stop();
 
+  /// Routes every query through a scatter-gather `shard::Coordinator`
+  /// instead of the local service: answers are the coordinator's merged
+  /// global-id results, and a degraded answer streams with the protocol
+  /// v3 partial-result trailer (`complete=false` + typed per-shard
+  /// errors). The coordinator must outlive the server; call before
+  /// `Start` (not synchronized against in-flight RPCs). Explain/info
+  /// keep answering from the local database, which in sharded serving
+  /// is the mirror source holding the same corpus.
+  void AttachCoordinator(shard::Coordinator* coordinator) {
+    coordinator_ = coordinator;
+  }
+
   /// The bound port (after a successful `Start`).
   int port() const { return port_; }
   const std::string& host() const { return options_.host; }
@@ -112,6 +128,8 @@ class QueryServer {
 
   const MultimediaDatabase* db_;
   QueryService* service_;
+  /// Non-null in sharded serving mode (see `AttachCoordinator`).
+  shard::Coordinator* coordinator_ = nullptr;
   const ServerOptions options_;
 
   ListenSocket listener_;

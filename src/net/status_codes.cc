@@ -34,6 +34,8 @@ WireStatusCode ToWireCode(StatusCode code) {
       return WireStatusCode::kCancelled;
     case StatusCode::kDataLoss:
       return WireStatusCode::kDataLoss;
+    case StatusCode::kUnavailable:
+      return WireStatusCode::kUnavailable;
   }
   return WireStatusCode::kUnknown;  // Unreachable for valid enum values.
 }
@@ -66,6 +68,8 @@ StatusCode FromWireCode(uint16_t wire_code) {
       return StatusCode::kCancelled;
     case WireStatusCode::kDataLoss:
       return StatusCode::kDataLoss;
+    case WireStatusCode::kUnavailable:
+      return StatusCode::kUnavailable;
     case WireStatusCode::kUnknown:
       return StatusCode::kInternal;
   }

@@ -26,6 +26,9 @@ enum class WireStatusCode : uint16_t {
   kDeadlineExceeded = 10,
   kCancelled = 11,
   kDataLoss = 12,
+  /// v3 appended: an unavailable shard/replica/peer (circuit open or
+  /// unreachable) behind a coordinator's typed per-shard errors.
+  kUnavailable = 13,
   /// A peer sent a code this build does not know (it is newer). Never
   /// produced by `ToWireCode`.
   kUnknown = 0xffff,

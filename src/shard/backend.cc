@@ -1,0 +1,71 @@
+#include "shard/backend.h"
+
+#include <utility>
+
+namespace mmdb::shard {
+
+Status TranslateToGlobal(const ShardCatalog& catalog, size_t shard,
+                         QueryResult* result) {
+  for (ObjectId& id : result->ids) {
+    const ObjectId global_id = catalog.GlobalOf(shard, id);
+    if (global_id == kInvalidObjectId) {
+      return Status::Internal("shard " + std::to_string(shard) +
+                              " returned local id " + std::to_string(id) +
+                              " the catalog cannot translate");
+    }
+    id = global_id;
+  }
+  for (SimilarityMatch& match : result->matches) {
+    const ObjectId global_id = catalog.GlobalOf(shard, match.id);
+    if (global_id == kInvalidObjectId) {
+      return Status::Internal("shard " + std::to_string(shard) +
+                              " returned local match id " +
+                              std::to_string(match.id) +
+                              " the catalog cannot translate");
+    }
+    match.id = global_id;
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> LocalShardBackend::Execute(const QueryRequest& request) {
+  MMDB_ASSIGN_OR_RETURN(QueryResult result, service_->Execute(request));
+  MMDB_RETURN_IF_ERROR(TranslateToGlobal(*catalog_, shard_, &result));
+  return result;
+}
+
+Result<net::Client> RemoteShardBackend::Checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      net::Client client = std::move(idle_.back());
+      idle_.pop_back();
+      return client;
+    }
+  }
+  return net::Client::Connect(host_, port_, options_);
+}
+
+void RemoteShardBackend::Return(net::Client client) {
+  if (!client.connected()) return;  // Broken connections are not pooled.
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(client));
+}
+
+Result<QueryResult> RemoteShardBackend::Execute(const QueryRequest& request) {
+  MMDB_ASSIGN_OR_RETURN(net::Client client, Checkout());
+  Result<QueryResult> result = client.Execute(request);
+  Return(std::move(client));
+  if (!result.ok()) return result.status();
+  MMDB_RETURN_IF_ERROR(TranslateToGlobal(*catalog_, shard_, &*result));
+  return result;
+}
+
+Status RemoteShardBackend::Probe() {
+  MMDB_ASSIGN_OR_RETURN(net::Client client, Checkout());
+  Status alive = client.Ping();
+  Return(std::move(client));
+  return alive;
+}
+
+}  // namespace mmdb::shard

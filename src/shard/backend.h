@@ -1,0 +1,105 @@
+#ifndef MMDB_SHARD_BACKEND_H_
+#define MMDB_SHARD_BACKEND_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/query_service.h"
+#include "net/client.h"
+#include "shard/sharded_db.h"
+#include "util/result.h"
+
+namespace mmdb::shard {
+
+/// Rewrites one shard's answer from its local id space into the global
+/// one via the catalog (ids and similarity matches alike). A local id
+/// the catalog cannot translate is Internal — it means the serving
+/// store and the catalog diverged.
+Status TranslateToGlobal(const ShardCatalog& catalog, size_t shard,
+                         QueryResult* result);
+
+/// One executable endpoint for one shard — a (shard, replica) cell of
+/// the coordinator's dispatch table. Queries carry no object ids, so a
+/// backend forwards the request verbatim and translates only the
+/// *answer* into global ids. Implementations must be safe to call from
+/// multiple coordinator threads at once (hedges and concurrent queries
+/// overlap).
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Runs `request` (deadline already carved down to this shard's
+  /// budget by the coordinator) and returns the shard's answer with
+  /// GLOBAL ids.
+  virtual Result<QueryResult> Execute(const QueryRequest& request) = 0;
+
+  /// Cheap liveness probe — the coordinator's half-open trial for
+  /// re-admitting an ejected shard without risking a real query.
+  virtual Status Probe() = 0;
+
+  /// Diagnostic name ("local:2", "remote:host:port") used in typed
+  /// per-shard errors.
+  virtual std::string name() const = 0;
+};
+
+/// In-process backend: the shard is a `QueryService` in this address
+/// space. The service (and the catalog) must outlive the backend.
+class LocalShardBackend : public ShardBackend {
+ public:
+  LocalShardBackend(QueryService* service, const ShardCatalog* catalog,
+                    size_t shard)
+      : service_(service), catalog_(catalog), shard_(shard) {}
+
+  Result<QueryResult> Execute(const QueryRequest& request) override;
+  Status Probe() override { return Status::OK(); }
+  std::string name() const override {
+    return "local:" + std::to_string(shard_);
+  }
+
+ private:
+  QueryService* service_;
+  const ShardCatalog* catalog_;
+  size_t shard_;
+};
+
+/// Remote backend: the shard serves the PR-5 wire protocol on
+/// host:port. Connections are pooled (checkout / return) so concurrent
+/// fan-outs and hedges each get their own socket; a connection that
+/// suffers a transport error is dropped instead of returned, and the
+/// next checkout dials fresh. `options.connect_retries` rides on each
+/// connection, giving the per-dispatch reconnect-with-backoff of the
+/// client satellite.
+class RemoteShardBackend : public ShardBackend {
+ public:
+  RemoteShardBackend(std::string host, int port, const ShardCatalog* catalog,
+                     size_t shard, net::ClientOptions options = {})
+      : host_(std::move(host)),
+        port_(port),
+        catalog_(catalog),
+        shard_(shard),
+        options_(options) {}
+
+  Result<QueryResult> Execute(const QueryRequest& request) override;
+  Status Probe() override;
+  std::string name() const override {
+    return "remote:" + host_ + ":" + std::to_string(port_);
+  }
+
+ private:
+  Result<net::Client> Checkout();
+  void Return(net::Client client);
+
+  std::string host_;
+  int port_;
+  const ShardCatalog* catalog_;
+  size_t shard_;
+  net::ClientOptions options_;
+  std::mutex mu_;
+  std::vector<net::Client> idle_;
+};
+
+}  // namespace mmdb::shard
+
+#endif  // MMDB_SHARD_BACKEND_H_

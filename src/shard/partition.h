@@ -1,0 +1,43 @@
+#ifndef MMDB_SHARD_PARTITION_H_
+#define MMDB_SHARD_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "editops/edit_ops.h"
+
+namespace mmdb::shard {
+
+/// The partitioning invariant (docs/SHARDING.md):
+///
+///   * A *binary* image lives on `ShardOf(global_id, shards)`.
+///   * An *edited* image lives on its base image's shard.
+///
+/// The paper's data structure makes this the natural split: a BWM Main
+/// cluster is keyed by its base image, and the cluster accept/reject
+/// decision (Figure 2, step 4.2) never consults anything outside the
+/// cluster — so hashing by base-image id keeps every cluster whole on
+/// one shard, and each shard answers exactly like a small standalone
+/// store. The only cross-shard references left are Merge *targets*,
+/// which `ShardedDatabase` resolves by replicating the target's pixels
+/// onto the referencing shard (a "ghost" copy under the same global
+/// id; the coordinator deduplicates).
+///
+/// `ShardOf` finalizes the id through a 64-bit avalanche mix
+/// (splitmix64's finalizer) before taking the modulus, so the
+/// sequentially assigned object ids spread uniformly instead of
+/// striping.
+inline size_t ShardOf(ObjectId base_id, size_t shards) {
+  if (shards <= 1) return 0;
+  uint64_t x = base_id;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % shards);
+}
+
+}  // namespace mmdb::shard
+
+#endif  // MMDB_SHARD_PARTITION_H_

@@ -1,0 +1,203 @@
+#include "shard/sharded_db.h"
+
+#include <algorithm>
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace mmdb::shard {
+
+ObjectId ShardCatalog::GlobalOf(size_t shard, ObjectId local_id) const {
+  if (shard >= local_to_global_.size()) return kInvalidObjectId;
+  if (local_id < catalog_keys::kFirstObjectId) return kInvalidObjectId;
+  const size_t index =
+      static_cast<size_t>(local_id - catalog_keys::kFirstObjectId);
+  const std::vector<ObjectId>& table = local_to_global_[shard];
+  if (index >= table.size()) return kInvalidObjectId;
+  return table[index];
+}
+
+bool ShardCatalog::IsEdited(ObjectId global_id) const {
+  if (global_id < catalog_keys::kFirstObjectId) return false;
+  const size_t index =
+      static_cast<size_t>(global_id - catalog_keys::kFirstObjectId);
+  return index < kind_.size() && kind_[index] == 1;
+}
+
+Result<std::unique_ptr<ShardedDatabase>> ShardedDatabase::Open(
+    ShardedDatabaseOptions options) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument("a sharded database needs >= 1 shard");
+  }
+  if (!options.shard_envs.empty() &&
+      options.shard_envs.size() != options.shards) {
+    return Status::InvalidArgument(
+        "shard_envs carries " + std::to_string(options.shard_envs.size()) +
+        " entries for " + std::to_string(options.shards) + " shards");
+  }
+  auto db = std::unique_ptr<ShardedDatabase>(new ShardedDatabase());
+  db->shards_.reserve(options.shards);
+  for (size_t i = 0; i < options.shards; ++i) {
+    DatabaseOptions shard_options = options.shard_options;
+    if (!shard_options.path.empty()) {
+      shard_options.path += ".shard" + std::to_string(i);
+    }
+    if (!options.shard_envs.empty()) {
+      shard_options.env = options.shard_envs[i];
+    }
+    MMDB_ASSIGN_OR_RETURN(std::unique_ptr<MultimediaDatabase> store,
+                          MultimediaDatabase::Open(std::move(shard_options)));
+    db->shards_.push_back(std::move(store));
+  }
+  db->catalog_.local_to_global_.resize(options.shards);
+  db->catalog_.ghost_counts_.assign(options.shards, 0);
+  db->ghosts_.resize(options.shards);
+  db->next_global_ = catalog_keys::kFirstObjectId;
+  return db;
+}
+
+Status ShardedDatabase::RecordLocal(size_t shard, ObjectId local_id,
+                                    ObjectId global_id) {
+  std::vector<ObjectId>& table = catalog_.local_to_global_[shard];
+  if (local_id < catalog_keys::kFirstObjectId ||
+      static_cast<size_t>(local_id - catalog_keys::kFirstObjectId) !=
+          table.size()) {
+    // Each shard assigns local ids sequentially from kFirstObjectId, so
+    // every registration appends; anything else means the shard's store
+    // and this catalog have diverged.
+    return Status::Internal(
+        "shard " + std::to_string(shard) + " assigned local id " +
+        std::to_string(local_id) + ", catalog expected " +
+        std::to_string(table.size() + catalog_keys::kFirstObjectId));
+  }
+  table.push_back(global_id);
+  return Status::OK();
+}
+
+Result<ShardedDatabase::Home> ShardedDatabase::HomeOf(
+    ObjectId global_id) const {
+  if (global_id >= catalog_keys::kFirstObjectId) {
+    const size_t index =
+        static_cast<size_t>(global_id - catalog_keys::kFirstObjectId);
+    if (index < home_.size()) return home_[index];
+  }
+  return Status::NotFound("no image with id " + std::to_string(global_id));
+}
+
+Result<size_t> ShardedDatabase::HomeShard(ObjectId global_id) const {
+  MMDB_ASSIGN_OR_RETURN(Home home, HomeOf(global_id));
+  return static_cast<size_t>(home.shard);
+}
+
+Result<ObjectId> ShardedDatabase::InsertBinaryImage(const Image& image) {
+  const ObjectId global_id = next_global_;
+  const size_t shard = ShardOf(global_id, shards_.size());
+  MMDB_ASSIGN_OR_RETURN(ObjectId local_id,
+                        shards_[shard]->InsertBinaryImage(image));
+  MMDB_RETURN_IF_ERROR(RecordLocal(shard, local_id, global_id));
+  catalog_.kind_.push_back(0);
+  home_.push_back(Home{static_cast<uint32_t>(shard), local_id});
+  ++next_global_;
+  return global_id;
+}
+
+Result<ObjectId> ShardedDatabase::LocalTargetOn(size_t shard,
+                                                ObjectId global_id) {
+  MMDB_ASSIGN_OR_RETURN(Home home, HomeOf(global_id));
+  if (home.shard == shard) return home.local_id;
+  auto ghost = ghosts_[shard].find(global_id);
+  if (ghost != ghosts_[shard].end()) return ghost->second;
+  if (catalog_.IsEdited(global_id)) {
+    // Replicating an edited target would mean replicating its whole
+    // script chain (base, its own merge targets, ...) — out of scope;
+    // the datasets only merge into binary images.
+    return Status::InvalidArgument(
+        "Merge target " + std::to_string(global_id) +
+        " is an edited image on shard " + std::to_string(home.shard) +
+        "; cross-shard Merge targets must be binary images");
+  }
+  // First cross-shard reference to this binary image: ghost-replicate
+  // its pixels onto the referencing shard, aliased to the same global
+  // id. The shard's rule engine now resolves the target locally exactly
+  // as a single store would; the coordinator deduplicates the id and
+  // compensates the scan counters (see ShardCatalog::GhostCount).
+  MMDB_ASSIGN_OR_RETURN(Image pixels,
+                        shards_[home.shard]->GetImage(home.local_id));
+  MMDB_ASSIGN_OR_RETURN(ObjectId ghost_local,
+                        shards_[shard]->InsertBinaryImage(pixels));
+  MMDB_RETURN_IF_ERROR(RecordLocal(shard, ghost_local, global_id));
+  ghosts_[shard].emplace(global_id, ghost_local);
+  ++catalog_.ghost_counts_[shard];
+  return ghost_local;
+}
+
+Result<ObjectId> ShardedDatabase::InsertEditedImage(const EditScript& script) {
+  MMDB_ASSIGN_OR_RETURN(Home base, HomeOf(script.base_id));
+  if (catalog_.IsEdited(script.base_id)) {
+    return Status::InvalidArgument(
+        "base image " + std::to_string(script.base_id) +
+        " is itself an edited image; a script's base must be a "
+        "conventionally stored binary image");
+  }
+  const size_t shard = base.shard;
+  EditScript local_script = script;
+  local_script.base_id = base.local_id;
+  for (EditOp& op : local_script.ops) {
+    MergeOp* merge = std::get_if<MergeOp>(&op);
+    if (merge == nullptr || !merge->target.has_value()) continue;
+    MMDB_ASSIGN_OR_RETURN(ObjectId local_target,
+                          LocalTargetOn(shard, *merge->target));
+    merge->target = local_target;
+  }
+  const ObjectId global_id = next_global_;
+  MMDB_ASSIGN_OR_RETURN(ObjectId local_id,
+                        shards_[shard]->InsertEditedImage(local_script));
+  MMDB_RETURN_IF_ERROR(RecordLocal(shard, local_id, global_id));
+  catalog_.kind_.push_back(1);
+  home_.push_back(Home{static_cast<uint32_t>(shard), local_id});
+  ++next_global_;
+  return global_id;
+}
+
+Result<Image> ShardedDatabase::GetImage(ObjectId global_id) const {
+  MMDB_ASSIGN_OR_RETURN(Home home, HomeOf(global_id));
+  return shards_[home.shard]->GetImage(home.local_id);
+}
+
+Status MirrorDatabase(const MultimediaDatabase& source,
+                      ShardedDatabase* target) {
+  const AugmentedCollection& collection = source.collection();
+  std::vector<ObjectId> ids;
+  ids.reserve(collection.BinaryCount() + collection.EditedCount());
+  ids.insert(ids.end(), collection.binary_ids().begin(),
+             collection.binary_ids().end());
+  ids.insert(ids.end(), collection.edited_ids().begin(),
+             collection.edited_ids().end());
+  std::sort(ids.begin(), ids.end());
+  for (ObjectId id : ids) {
+    Result<ObjectId> assigned = Status::Internal("unreached");
+    if (const BinaryImageInfo* binary = collection.FindBinary(id)) {
+      (void)binary;
+      MMDB_ASSIGN_OR_RETURN(Image pixels, source.GetImage(id));
+      assigned = target->InsertBinaryImage(pixels);
+    } else if (const EditedImageInfo* edited = collection.FindEdited(id)) {
+      assigned = target->InsertEditedImage(edited->script);
+    } else {
+      return Status::Internal("catalog lists id " + std::to_string(id) +
+                              " but neither side resolves it");
+    }
+    MMDB_RETURN_IF_ERROR(assigned.status());
+    if (*assigned != id) {
+      // Sequential reassignment only reproduces the source ids when the
+      // source id space is dense (no deletions). Fail loudly instead of
+      // silently shifting every id after the gap.
+      return Status::Internal(
+          "id drift while mirroring: source id " + std::to_string(id) +
+          " became " + std::to_string(*assigned) +
+          " (source has gaps — mirror only freshly built corpora)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb::shard

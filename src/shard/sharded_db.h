@@ -1,0 +1,160 @@
+#ifndef MMDB_SHARD_SHARDED_DB_H_
+#define MMDB_SHARD_SHARDED_DB_H_
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "image/image.h"
+#include "shard/partition.h"
+#include "storage/env.h"
+#include "util/result.h"
+
+namespace mmdb::shard {
+
+/// Shape of a sharded corpus.
+struct ShardedDatabaseOptions {
+  /// Number of partitions (>= 1).
+  size_t shards = 2;
+  /// Template options for every shard's store. An empty `path` opens
+  /// volatile in-memory shards; otherwise shard i opens
+  /// `path + ".shard<i>"`.
+  DatabaseOptions shard_options;
+  /// Optional per-shard `Env` overrides (size must equal `shards` when
+  /// non-empty); tests point one shard at a `FaultInjectingEnv` while
+  /// the rest stay healthy.
+  std::vector<Env*> shard_envs;
+};
+
+/// The immutable-after-ingest metadata a `Coordinator` needs to merge
+/// shard-local answers back into the global id space: per-shard
+/// local→global translation, ghost counts for stats compensation and
+/// similarity k-inflation, and the binary/edited kind of every global
+/// id for canonical result ordering.
+class ShardCatalog {
+ public:
+  size_t shard_count() const { return local_to_global_.size(); }
+
+  /// The global id behind shard-local id `local_id` on `shard`;
+  /// `kInvalidObjectId` when the shard never assigned it. A ghost copy
+  /// translates to the *same* global id as the real copy — that is the
+  /// whole point.
+  ObjectId GlobalOf(size_t shard, ObjectId local_id) const;
+
+  /// Translation table for one shard, indexed by
+  /// `local_id - kFirstObjectId`.
+  const std::vector<ObjectId>& LocalToGlobal(size_t shard) const {
+    return local_to_global_[shard];
+  }
+
+  /// Ghost (replicated Merge-target) binary copies living on `shard`.
+  /// Every one of them is scanned by that shard's full-scan access
+  /// paths exactly like a real binary image, so the coordinator
+  /// subtracts this from the merged `binary_images_checked` and
+  /// inflates a similarity query's k by it.
+  int64_t GhostCount(size_t shard) const { return ghost_counts_[shard]; }
+
+  /// True iff `global_id` names an edited image. Drives the canonical
+  /// merged result order (binary ascending, then edited ascending —
+  /// exactly the single-store RBM emission order).
+  bool IsEdited(ObjectId global_id) const;
+
+  /// Total distinct global ids assigned (ghosts excluded).
+  size_t GlobalCount() const { return kind_.size(); }
+
+ private:
+  friend class ShardedDatabase;
+
+  std::vector<std::vector<ObjectId>> local_to_global_;
+  std::vector<int64_t> ghost_counts_;
+  /// Indexed by `global_id - kFirstObjectId`: 0 binary, 1 edited.
+  std::vector<uint8_t> kind_;
+};
+
+/// A corpus partitioned across N `MultimediaDatabase` stores by the
+/// `partition.h` invariant, presenting the single-store insertion API
+/// in one *global* id space:
+///
+///  * `InsertBinaryImage` assigns the next global id (sequential from
+///    `kFirstObjectId`, exactly like a single store) and routes the
+///    image to `ShardOf(global_id, shards)`.
+///  * `InsertEditedImage` takes a script whose `base_id` / Merge
+///    targets are global ids, routes the image to its base's shard,
+///    and rewrites the script into that shard's local id space. A
+///    Merge target living on another shard is *ghost-replicated*: its
+///    pixels are copied into the referencing shard as a local binary
+///    image aliased to the same global id, so the shard's rule engine
+///    resolves the target exactly as a single store would.
+///
+/// Because global ids are assigned in insertion order, a corpus built
+/// here side by side with a single store (same insertion sequence —
+/// see `MirrorDatabase`) gets *identical* ids, which is what makes
+/// "sharded results bit-identical to the single store" testable at
+/// all.
+///
+/// Thread safety matches the facade: mutations need external
+/// serialization; the per-shard read paths run concurrently.
+class ShardedDatabase {
+ public:
+  static Result<std::unique_ptr<ShardedDatabase>> Open(
+      ShardedDatabaseOptions options);
+
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  /// Stores a binary image under the next global id.
+  Result<ObjectId> InsertBinaryImage(const Image& image);
+
+  /// Stores an edited image (script in global ids) on its base's
+  /// shard. A Merge target that is an *edited* image on another shard
+  /// is rejected as InvalidArgument (replicating a script chain across
+  /// shards is not supported; datasets only merge into binary images).
+  Result<ObjectId> InsertEditedImage(const EditScript& script);
+
+  /// Retrieves pixels by global id, from the image's home shard.
+  Result<Image> GetImage(ObjectId global_id) const;
+
+  size_t shard_count() const { return shards_.size(); }
+  MultimediaDatabase* shard(size_t i) const { return shards_[i].get(); }
+  const ShardCatalog& catalog() const { return catalog_; }
+
+  /// The shard a global id lives on (its home — not a ghost location).
+  Result<size_t> HomeShard(ObjectId global_id) const;
+
+ private:
+  ShardedDatabase() = default;
+
+  struct Home {
+    uint32_t shard = 0;
+    ObjectId local_id = kInvalidObjectId;
+  };
+
+  Result<Home> HomeOf(ObjectId global_id) const;
+  /// Registers `local_id` (just assigned by `shard`) → `global_id`.
+  Status RecordLocal(size_t shard, ObjectId local_id, ObjectId global_id);
+  /// The shard-local id of `global_id` on `shard`, replicating a ghost
+  /// binary copy on first cross-shard reference.
+  Result<ObjectId> LocalTargetOn(size_t shard, ObjectId global_id);
+
+  std::vector<std::unique_ptr<MultimediaDatabase>> shards_;
+  ShardCatalog catalog_;
+  ObjectId next_global_ = 0;
+  /// Indexed by `global_id - kFirstObjectId`.
+  std::vector<Home> home_;
+  /// Per shard: global id → local id of its ghost copy there.
+  std::vector<std::unordered_map<ObjectId, ObjectId>> ghosts_;
+};
+
+/// Replays `source`'s corpus into `target` in global-id order (ids are
+/// assigned sequentially, so ascending id order *is* insertion order).
+/// After a successful mirror the sharded corpus carries the same
+/// global ids as the single store — the equivalence tests and benches
+/// are built on this.
+Status MirrorDatabase(const MultimediaDatabase& source,
+                      ShardedDatabase* target);
+
+}  // namespace mmdb::shard
+
+#endif  // MMDB_SHARD_SHARDED_DB_H_

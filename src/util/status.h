@@ -28,6 +28,10 @@ enum class StatusCode {
   /// may or may not have reached stable storage. Unlike kIoError this is
   /// not retryable — the kernel may already have dropped the dirty pages.
   kDataLoss,
+  /// The target (a shard, replica, or remote peer) is currently not
+  /// serving — ejected by a circuit breaker or unreachable. Retryable
+  /// once the target is probed healthy again.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -89,6 +93,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -156,7 +156,9 @@ int Run(int argc, char** argv) {
 
   for (int iteration = 0; iteration < repeat; ++iteration) {
     Stopwatch watch;
-    Result<QueryResult> result = client->Execute(make_request());
+    net::Completeness completeness;
+    Result<QueryResult> result =
+        client->Execute(make_request(), &completeness);
     const double elapsed = watch.ElapsedSeconds();
     if (!result.ok()) {
       std::cerr << "mmdb_query: " << result.status().ToString() << "\n";
@@ -168,6 +170,17 @@ int Run(int argc, char** argv) {
               << result->stats.binary_images_checked
               << " histograms checked, " << result->stats.edited_images_bounded
               << " scripts bounded)\n";
+    if (!completeness.complete) {
+      // Sharded server degraded: the answer covers the surviving shards
+      // only. Make partiality loud — a silent subset is the one thing
+      // the protocol's failure envelope promises never to produce.
+      std::cout << "PARTIAL RESULT: " << completeness.shard_errors.size()
+                << " shard(s) failed\n";
+      for (const net::WireShardError& error : completeness.shard_errors) {
+        std::cout << "  shard " << error.shard << ": "
+                  << error.ToStatus().ToString() << "\n";
+      }
+    }
     if (!quiet) {
       if (similarity) {
         for (const SimilarityMatch& match : result->matches) {

@@ -18,11 +18,16 @@
 #include <string>
 #include <thread>
 
+#include <vector>
+
 #include "core/database.h"
 #include "core/query_service.h"
 #include "datasets/augment.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "shard/backend.h"
+#include "shard/coordinator.h"
+#include "shard/sharded_db.h"
 
 namespace mmdb {
 namespace {
@@ -46,7 +51,10 @@ int Usage() {
          "8)\n"
          "  --query-threads N   QueryService pool threads (default 4)\n"
          "  --max-in-flight N   admission gate size (default 0 = off)\n"
-         "  --admission POLICY  block | shed-oldest | reject-new\n";
+         "  --admission POLICY  block | shed-oldest | reject-new\n"
+         "  --shards N          partition the corpus across N in-process\n"
+         "                      shards behind a scatter-gather coordinator\n"
+         "                      (default 0 = single store)\n";
   return 2;
 }
 
@@ -59,6 +67,7 @@ int Run(int argc, char** argv) {
   uint64_t seed = 2006;
   int connections = 8;
   int query_threads = 4;
+  int shards = 0;
   AdmissionOptions admission;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +92,8 @@ int Run(int argc, char** argv) {
       connections = std::atoi(value);
     } else if (arg == "--query-threads" && (value = next())) {
       query_threads = std::atoi(value);
+    } else if (arg == "--shards" && (value = next())) {
+      shards = std::atoi(value);
     } else if (arg == "--max-in-flight" && (value = next())) {
       admission.max_in_flight = std::atoi(value);
     } else if (arg == "--admission" && (value = next())) {
@@ -134,11 +145,55 @@ int Run(int argc, char** argv) {
   service_options.admission = admission;
   QueryService service(db->get(), service_options);
 
+  // Sharded serving: mirror the corpus into N in-memory partitions,
+  // give each its own QueryService, and put a scatter-gather
+  // coordinator in front. The single store stays alive as the mirror
+  // source (and keeps answering info/explain).
+  std::unique_ptr<shard::ShardedDatabase> sharded;
+  std::vector<std::unique_ptr<QueryService>> shard_services;
+  std::unique_ptr<shard::Coordinator> coordinator;
+  if (shards > 0) {
+    shard::ShardedDatabaseOptions sharded_options;
+    sharded_options.shards = static_cast<size_t>(shards);
+    sharded_options.shard_options.query_threads = query_threads;
+    Result<std::unique_ptr<shard::ShardedDatabase>> opened =
+        shard::ShardedDatabase::Open(sharded_options);
+    if (!opened.ok()) {
+      std::cerr << "mmdb_serve: sharded open failed: "
+                << opened.status().ToString() << "\n";
+      return 1;
+    }
+    sharded = std::move(opened).value();
+    Status mirrored = shard::MirrorDatabase(*db->get(), sharded.get());
+    if (!mirrored.ok()) {
+      std::cerr << "mmdb_serve: shard mirror failed: "
+                << mirrored.ToString() << "\n";
+      return 1;
+    }
+    std::vector<std::vector<std::unique_ptr<shard::ShardBackend>>> backends;
+    for (size_t s = 0; s < sharded->shard_count(); ++s) {
+      QueryServiceOptions shard_service_options;
+      shard_service_options.threads = query_threads;
+      shard_service_options.admission = admission;
+      shard_services.push_back(std::make_unique<QueryService>(
+          sharded->shard(s), shard_service_options));
+      std::vector<std::unique_ptr<shard::ShardBackend>> replicas;
+      replicas.push_back(std::make_unique<shard::LocalShardBackend>(
+          shard_services.back().get(), &sharded->catalog(), s));
+      backends.push_back(std::move(replicas));
+    }
+    coordinator = std::make_unique<shard::Coordinator>(std::move(backends),
+                                                       &sharded->catalog());
+    std::cout << "mmdb_serve: sharded serving across " << shards
+              << " shards\n";
+  }
+
   net::ServerOptions server_options;
   server_options.host = host;
   server_options.port = port;
   server_options.connection_threads = connections;
   net::QueryServer server(db->get(), &service, server_options);
+  if (coordinator != nullptr) server.AttachCoordinator(coordinator.get());
   Status started = server.Start();
   if (!started.ok()) {
     std::cerr << "mmdb_serve: " << started.ToString() << "\n";
@@ -153,6 +208,9 @@ int Run(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // Re-admit breaker-ejected shards whose cooldown elapsed (a cheap
+    // probe, not a real query).
+    if (coordinator != nullptr) coordinator->ProbeEjected();
   }
   std::cout << "mmdb_serve: shutting down\n";
   server.Stop();
@@ -161,6 +219,14 @@ int Run(int argc, char** argv) {
             << stats.connections_accepted << " connections ("
             << stats.bytes_received << " B in, " << stats.bytes_sent
             << " B out, " << stats.decode_errors << " decode errors)\n";
+  if (coordinator != nullptr) {
+    const shard::Coordinator::Stats coord = coordinator->stats();
+    std::cout << "mmdb_serve: coordinator ran " << coord.queries
+              << " fan-outs, " << coord.partial_results << " partial, "
+              << coord.hedges_launched << " hedges (" << coord.hedge_wins
+              << " wins), " << coord.shard_failures << " shard failures, "
+              << coord.breaker_skips << " breaker skips\n";
+  }
   return 0;
 }
 

@@ -9,6 +9,11 @@
 //                                  section (deadlines, cancellations,
 //                                  admission, retries, breaker state),
 //                                  after exercising those paths
+//   mmdb_stats --sharding          ... + the scatter-gather coordinator
+//                                  section (fan-outs, partial results,
+//                                  hedges, shard breakers), after
+//                                  fanning the workload across shards
+//                                  with one shard down
 //   mmdb_stats --images 600 --queries 24 --repeats 5
 //   mmdb_stats --db photos.mmdb    use (and keep) an explicit page file
 //
@@ -20,6 +25,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +35,10 @@
 #include "datasets/augment.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/backend.h"
+#include "shard/coordinator.h"
+#include "shard/health.h"
+#include "shard/sharded_db.h"
 #include "util/table_printer.h"
 
 namespace mmdb {
@@ -48,8 +58,42 @@ int Usage() {
          "  --traces      also dump the recent-span ring as JSON\n"
          "  --robustness  exercise the lifecycle paths (deadlines, "
          "cancellation, shedding) and print the lifecycle counter "
-         "section\n";
+         "section\n"
+         "  --sharding    fan the workload across in-process shards "
+         "(one left down) and print the coordinator counter section\n";
   return 2;
+}
+
+/// A backend whose shard is permanently offline — lets --sharding show
+/// the coordinator's degradation counters (partial results, breaker
+/// ejection) without real sockets or killed processes.
+class DownBackend : public shard::ShardBackend {
+ public:
+  explicit DownBackend(size_t shard) : shard_(shard) {}
+  Result<QueryResult> Execute(const QueryRequest&) override {
+    return Status::Unavailable("shard store offline");
+  }
+  Status Probe() override {
+    return Status::Unavailable("shard store offline");
+  }
+  std::string name() const override {
+    return "down:" + std::to_string(shard_);
+  }
+
+ private:
+  size_t shard_;
+};
+
+const char* BreakerStateName(shard::BreakerState state) {
+  switch (state) {
+    case shard::BreakerState::kClosed:
+      return "closed";
+    case shard::BreakerState::kOpen:
+      return "open";
+    case shard::BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
 }
 
 void AddStageRow(TablePrinter* table, const std::string& label,
@@ -71,6 +115,7 @@ int Run(int argc, char** argv) {
   bool as_json = false;
   bool dump_traces = false;
   bool robustness = false;
+  bool sharding = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_int = [&](int* out) {
@@ -96,6 +141,8 @@ int Run(int argc, char** argv) {
       dump_traces = true;
     } else if (arg == "--robustness") {
       robustness = true;
+    } else if (arg == "--sharding") {
+      sharding = true;
     } else {
       return Usage();
     }
@@ -303,7 +350,81 @@ int Run(int argc, char** argv) {
     lifecycle.Print(std::cout);
   }
 
-  // 6. Machine-readable views of the same registry.
+  // 6. Scatter-gather coordinator counters. Mirror the corpus across
+  //    three in-process shards, leave the last one permanently down,
+  //    and fan the same windows out: every query degrades to a partial
+  //    result, the dead shard's breaker trips after a few failures, and
+  //    later fan-outs skip it outright — so the mmdb_coord_* family
+  //    shows real traffic through each branch of the failure envelope.
+  if (sharding) {
+    shard::ShardedDatabaseOptions sharded_options;
+    sharded_options.shards = 3;
+    auto sharded_or = shard::ShardedDatabase::Open(sharded_options);
+    if (!sharded_or.ok()) {
+      std::cerr << sharded_or.status().ToString() << "\n";
+      return 1;
+    }
+    auto sharded = std::move(sharded_or).value();
+    Status mirrored = shard::MirrorDatabase(*db, sharded.get());
+    if (!mirrored.ok()) {
+      std::cerr << mirrored.ToString() << "\n";
+      return 1;
+    }
+    std::vector<std::unique_ptr<QueryService>> shard_services;
+    std::vector<std::vector<std::unique_ptr<shard::ShardBackend>>> backends;
+    for (size_t s = 0; s < sharded->shard_count(); ++s) {
+      shard_services.push_back(std::make_unique<QueryService>(
+          sharded->shard(s), QueryServiceOptions{2, {}}));
+      std::vector<std::unique_ptr<shard::ShardBackend>> replicas;
+      if (s + 1 == sharded->shard_count()) {
+        replicas.push_back(std::make_unique<DownBackend>(s));
+      } else {
+        replicas.push_back(std::make_unique<shard::LocalShardBackend>(
+            shard_services.back().get(), &sharded->catalog(), s));
+      }
+      backends.push_back(std::move(replicas));
+    }
+    shard::Coordinator coordinator(std::move(backends), &sharded->catalog());
+    for (const RangeQuery& window : windows) {
+      auto fanned =
+          coordinator.Execute(QueryRequest::Range(window, QueryMethod::kBwm));
+      if (!fanned.ok()) {
+        std::cerr << fanned.status().ToString() << "\n";
+        return 1;
+      }
+    }
+    coordinator.ProbeEjected();  // The dead shard fails its trial too.
+
+    const shard::Coordinator::Stats coord = coordinator.stats();
+    auto coord_counter = [](const std::string& name) {
+      return obs::Registry::Default().GetCounter(name, "")->Value();
+    };
+    TablePrinter fanouts({"coordinator counter", "value"});
+    fanouts.AddRow({"fan-outs run", TablePrinter::Cell(coord.queries)});
+    fanouts.AddRow(
+        {"partial results", TablePrinter::Cell(coord.partial_results)});
+    fanouts.AddRow(
+        {"hedges launched", TablePrinter::Cell(coord.hedges_launched)});
+    fanouts.AddRow({"hedge wins", TablePrinter::Cell(coord.hedge_wins)});
+    fanouts.AddRow(
+        {"shard attempt failures", TablePrinter::Cell(coord.shard_failures)});
+    fanouts.AddRow(
+        {"breaker skips", TablePrinter::Cell(coord.breaker_skips)});
+    fanouts.AddRow(
+        {"client reconnects",
+         TablePrinter::Cell(
+             coord_counter("mmdb_net_client_reconnects_total"))});
+    for (size_t s = 0; s < coordinator.shard_count(); ++s) {
+      fanouts.AddRow(
+          {"shard " + std::to_string(s) + " breaker",
+           TablePrinter::Cell(
+               BreakerStateName(coordinator.health().StateOf(s)))});
+    }
+    std::cout << "\n=== Coordinator counters (--sharding) ===\n";
+    fanouts.Print(std::cout);
+  }
+
+  // 7. Machine-readable views of the same registry.
   if (as_json) {
     std::cout << "\n=== Registry JSON snapshot ===\n";
     obs::Registry::Default().WriteJson(std::cout);
